@@ -1,0 +1,72 @@
+// Command dexbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md section 3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	dexbench -exp all                 # everything, paper-scale
+//	dexbench -exp table1 -steps 2048  # one experiment, custom scale
+//	dexbench -exp gap -n0 256
+//
+// Experiments: table1, fig1, thm1, gap, amort, dht, multi, walk, route,
+// naive, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (table1|fig1|thm1|gap|amort|dht|multi|walk|route|naive|all)")
+		n0    = flag.Int("n0", 128, "initial network size")
+		steps = flag.Int("steps", 1024, "churn steps (table1/gap/amort)")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	w := os.Stdout
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			experiments.Table1(w, *n0, *steps, *seed)
+		case "fig1":
+			experiments.Figure1(w)
+		case "thm1":
+			experiments.Thm1Scaling(w, []int{256, 512, 1024, 2048, 4096}, 384, *seed)
+		case "gap":
+			experiments.GapSeries(w, *n0, *steps, *steps/24+1, *seed)
+		case "amort":
+			experiments.Amortized(w, *n0, *steps*4, *seed)
+		case "dht":
+			experiments.DHTCosts(w, []int{128, 256, 512, 1024, 2048}, 2000, *seed)
+		case "multi":
+			experiments.MultiBatch(w, *n0*2, 1.0/16, 24, *seed)
+			experiments.MultiBatch(w, *n0*2, 1.0/64, 24, *seed)
+		case "walk":
+			experiments.WalkHitRate(w, *n0, 0.3, 2000, *seed)
+		case "route":
+			experiments.PermRouting(w, []int64{101, 499, 1009, 2003, 4001})
+		case "naive":
+			experiments.NaiveCosts(w, []int{64, 128, 256, 512}, 128, *seed)
+		case "ablate":
+			experiments.AblateTheta(w, *n0, *steps, *seed)
+			experiments.AblateWalkFactor(w, *n0, *steps, *seed)
+			experiments.AblateMode(w, *n0, *steps, *seed)
+			experiments.CoordinatorAttack(w, *n0, *steps/4, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"fig1", "table1", "thm1", "gap", "amort", "dht", "multi", "walk", "route", "naive", "ablate"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,89 @@
+// Command dexdht demonstrates the Section 4.4.4 distributed hash table
+// on a DEX overlay surviving churn, including full virtual-graph
+// rebuilds.
+//
+// Usage:
+//
+//	dexdht -n0 64 -keys 1000 -churn 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		n0    = flag.Int("n0", 64, "initial network size")
+		keys  = flag.Int("keys", 1000, "keys to store")
+		churn = flag.Int("churn", 500, "churn steps between write and read")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	nw, err := core.New(*n0, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := dht.New(nw)
+	rng := rand.New(rand.NewSource(*seed))
+
+	var putCosts []float64
+	for i := 0; i < *keys; i++ {
+		origin := nw.Nodes()[rng.Intn(nw.Size())]
+		s := table.Put(origin, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+		putCosts = append(putCosts, float64(s.Messages))
+	}
+	fmt.Printf("stored %d keys on n=%d nodes (p=%d): put cost %s\n",
+		*keys, nw.Size(), nw.P(), fmtSummary(putCosts))
+
+	for i := 0; i < *churn; i++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < 0.55 || nw.Size() <= 6 {
+			if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			if err := nw.Delete(nodes[rng.Intn(len(nodes))]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("churned %d steps: n=%d p=%d, %d virtual-graph rebuilds, %d migration messages\n",
+		*churn, nw.Size(), nw.P(), table.Rehashes, table.MigrationMessages)
+
+	var getCosts []float64
+	lost := 0
+	for i := 0; i < *keys; i++ {
+		origin := nw.Nodes()[rng.Intn(nw.Size())]
+		v, ok, s := table.Get(origin, fmt.Sprintf("key-%d", i))
+		if !ok || v != fmt.Sprintf("value-%d", i) {
+			lost++
+		}
+		getCosts = append(getCosts, float64(s.Messages))
+	}
+	fmt.Printf("read back %d keys: %d lost, get cost %s\n", *keys, lost, fmtSummary(getCosts))
+
+	dist := table.ItemsPerNode()
+	var loads []float64
+	for _, c := range dist {
+		loads = append(loads, float64(c))
+	}
+	fmt.Printf("storage balance across %d nodes: %s\n", len(dist), fmtSummary(loads))
+	if lost > 0 {
+		log.Fatalf("%d keys lost", lost)
+	}
+}
+
+func fmtSummary(xs []float64) string {
+	s := stats.Summarize(xs)
+	return fmt.Sprintf("mean %.1f / p99 %.1f / max %.0f", s.Mean, s.P99, s.Max)
+}

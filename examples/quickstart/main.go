@@ -1,0 +1,66 @@
+// Quickstart: build a DEX self-healing expander, churn it, and inspect
+// its health. This is the minimal tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/spectral"
+)
+
+func main() {
+	// 1. Build an initial network of 32 nodes. DEX picks the first prime
+	//    p0 in (4n, 8n) and maps the virtual expander Z(p0) onto them.
+	cfg := core.DefaultConfig()
+	nw, err := core.New(32, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial network: n=%d, virtual graph %s, spectral gap %.4f\n",
+		nw.Size(), nw.Cycle(), spectral.Gap(nw.Graph()))
+
+	// 2. The adversary inserts and deletes nodes; DEX heals after every
+	//    step with O(log n) rounds/messages and O(1) topology changes.
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 200; step++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < 0.6 {
+			attach := nodes[rng.Intn(len(nodes))] // adversary picks the attach point
+			if err := nw.Insert(nw.FreshID(), attach); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			victim := nodes[rng.Intn(len(nodes))] // adversary picks the victim
+			if err := nw.Delete(victim); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// 3. Inspect per-step costs and structural health.
+	var maxRounds, maxMsgs, maxTopo int
+	for _, m := range nw.History() {
+		if m.Rounds > maxRounds {
+			maxRounds = m.Rounds
+		}
+		if m.Messages > maxMsgs {
+			maxMsgs = m.Messages
+		}
+		if m.TopologyChanges > maxTopo {
+			maxTopo = m.TopologyChanges
+		}
+	}
+	fmt.Printf("after 200 adversarial steps: n=%d, virtual graph %s\n", nw.Size(), nw.Cycle())
+	fmt.Printf("worst step: %d rounds, %d messages, %d topology changes\n", maxRounds, maxMsgs, maxTopo)
+	fmt.Printf("max load %d (bound %d), max degree %d, spectral gap %.4f\n",
+		nw.MaxLoad(), 4*cfg.Zeta, nw.Graph().MaxDistinctDegree(), spectral.Gap(nw.Graph()))
+
+	// 4. Every paper invariant is mechanically checkable.
+	if err := nw.CheckInvariants(); err != nil {
+		log.Fatalf("invariant violated: %v", err)
+	}
+	fmt.Println("all invariants hold: the network self-healed through every change")
+}

@@ -1,0 +1,298 @@
+package congest
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// splitmix64 advances a deterministic PRNG state; walk tokens carry the
+// state so the engine-executed and direct walks make identical choices.
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// pickWeighted selects a neighbor of cur proportionally to edge
+// multiplicity, excluding the node `exclude` (pass -1 to disable) and
+// self-loops' own-node entry only when cur != loop target (self-loops are
+// legitimate walk steps that stay put). It returns the chosen node and ok.
+func pickWeighted(g *graph.Graph, cur graph.NodeID, exclude graph.NodeID, r uint64) (graph.NodeID, bool) {
+	nbrs, mult := g.WeightedNeighbors(cur)
+	total := 0
+	for i, v := range nbrs {
+		if v == exclude {
+			continue
+		}
+		total += mult[i]
+	}
+	if total == 0 {
+		return 0, false
+	}
+	pick := int(r % uint64(total))
+	for i, v := range nbrs {
+		if v == exclude {
+			continue
+		}
+		pick -= mult[i]
+		if pick < 0 {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// WalkResult reports the outcome of a token random walk.
+type WalkResult struct {
+	End   graph.NodeID // final node of the token
+	Hit   bool         // whether the stop predicate was satisfied
+	Steps int          // edges traversed (= messages = rounds)
+}
+
+// RandomWalkDirect performs a multiplicity-weighted token walk of at most
+// maxLen steps starting at start; it stops early when stop(node) is true
+// for the node the token reaches (the start node itself is tested first,
+// costing no messages). exclude (-1 to disable) is never stepped onto -
+// the paper excludes the freshly inserted node from insertion walks.
+func RandomWalkDirect(g *graph.Graph, start graph.NodeID, exclude graph.NodeID, maxLen int, seed uint64, stop func(graph.NodeID) bool) WalkResult {
+	if stop(start) {
+		return WalkResult{End: start, Hit: true, Steps: 0}
+	}
+	cur := start
+	state := seed
+	for s := 1; s <= maxLen; s++ {
+		var r uint64
+		state, r = splitmix64(state)
+		next, ok := pickWeighted(g, cur, exclude, r)
+		if !ok {
+			return WalkResult{End: cur, Hit: false, Steps: s - 1}
+		}
+		cur = next
+		if stop(cur) {
+			return WalkResult{End: cur, Hit: true, Steps: s}
+		}
+	}
+	return WalkResult{End: cur, Hit: false, Steps: maxLen}
+}
+
+// RandomWalkEngine executes the identical walk as a token-forwarding
+// program on the engine: one message per step, one activation per round.
+// Intended for the equivalence tests and demonstrations; the churn
+// experiments use RandomWalkDirect.
+func RandomWalkEngine(e *Engine, start graph.NodeID, exclude graph.NodeID, maxLen int, seed uint64, stop func(graph.NodeID) bool) WalkResult {
+	var (
+		mu  sync.Mutex
+		res WalkResult
+	)
+	const tokenKind = "walk"
+	prog := func(ctx *Ctx, inbox []Message) {
+		for _, m := range inbox {
+			if m.Kind != tokenKind {
+				continue
+			}
+			steps := m.B
+			state := uint64(m.A)
+			mu.Lock()
+			res.End = ctx.ID
+			res.Steps = int(steps)
+			mu.Unlock()
+			if stop(ctx.ID) {
+				mu.Lock()
+				res.Hit = true
+				mu.Unlock()
+				return
+			}
+			if int(steps) >= maxLen {
+				return
+			}
+			ns, r := splitmix64(state)
+			next, ok := pickWeighted(e.topo, ctx.ID, exclude, r)
+			if !ok {
+				return
+			}
+			mu.Lock()
+			res.End = next
+			res.Steps = int(steps) + 1
+			mu.Unlock()
+			ctx.Send(next, tokenKind, int64(ns), steps+1, 0)
+		}
+	}
+	e.SetUniformProgram(prog)
+	if stop(start) {
+		return WalkResult{End: start, Hit: true, Steps: 0}
+	}
+	// Bootstrap: the start node behaves as if it received the token with
+	// step count 0; emulate by a self-delivered round-0 activation.
+	e.SetProgram(start, func(ctx *Ctx, inbox []Message) {
+		if ctx.Round == 0 && len(inbox) == 0 {
+			ns, r := splitmix64(seed)
+			next, ok := pickWeighted(e.topo, ctx.ID, exclude, r)
+			if !ok {
+				return
+			}
+			mu.Lock()
+			res.End = next
+			res.Steps = 1
+			mu.Unlock()
+			ctx.Send(next, tokenKind, int64(ns), 1, 0)
+			return
+		}
+		prog(ctx, inbox)
+	})
+	e.Run([]graph.NodeID{start}, maxLen+2)
+	mu.Lock()
+	defer mu.Unlock()
+	if res.Steps == 0 && !res.Hit {
+		res.End = start
+	}
+	if res.Hit {
+		return res
+	}
+	// A walk that ran to completion without hitting ends wherever the
+	// token stopped.
+	return res
+}
+
+// AggregateResult is the outcome of a flood/echo aggregation
+// (Algorithm 4.4, computeSpare / computeLow / network size).
+type AggregateResult struct {
+	Sum      int64 // sum of value(u) over all reachable nodes
+	Count    int64 // number of reachable nodes (the network size n)
+	Rounds   int
+	Messages int
+}
+
+// floodState is the per-node PIF state.
+type floodState struct {
+	seen    bool
+	parent  graph.NodeID
+	pending int
+	sum     int64
+	count   int64
+}
+
+// FloodAggregate runs the classic propagation-of-information-with-feedback
+// protocol from initiator over the topology, summing value(u) across all
+// nodes and counting the nodes (network size). Handlers execute in
+// parallel goroutines each round; results are deterministic for a fixed
+// topology, which the tests verify by running twice.
+func FloodAggregate(topo *graph.Graph, initiator graph.NodeID, value func(graph.NodeID) int64) AggregateResult {
+	e := NewEngine(topo)
+	return floodAggregateOn(e, topo, initiator, value)
+}
+
+func floodAggregateOn(e *Engine, topo *graph.Graph, initiator graph.NodeID, value func(graph.NodeID) int64) AggregateResult {
+	states := make(map[graph.NodeID]*floodState, topo.NumNodes())
+	for _, id := range topo.Nodes() {
+		states[id] = &floodState{}
+	}
+	var (
+		mu  sync.Mutex
+		res AggregateResult
+	)
+	const (
+		req  = "req"
+		echo = "echo"
+	)
+	othersOf := func(ctx *Ctx, except graph.NodeID) []graph.NodeID {
+		var out []graph.NodeID
+		for _, v := range ctx.Neighbors() {
+			if v != ctx.ID && v != except {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	finish := func(ctx *Ctx, st *floodState) {
+		if ctx.ID == initiator {
+			mu.Lock()
+			res.Sum = st.sum
+			res.Count = st.count
+			mu.Unlock()
+			return
+		}
+		ctx.Send(st.parent, echo, st.sum, st.count, 0)
+	}
+	prog := func(ctx *Ctx, inbox []Message) {
+		st := states[ctx.ID]
+		if ctx.Round == 0 && len(inbox) == 0 && ctx.ID == initiator {
+			st.seen = true
+			st.parent = ctx.ID
+			st.sum = value(ctx.ID)
+			st.count = 1
+			nbrs := othersOf(ctx, ctx.ID)
+			st.pending = len(nbrs)
+			for _, v := range nbrs {
+				ctx.Send(v, req, 0, 0, 0)
+			}
+			if st.pending == 0 {
+				finish(ctx, st)
+			}
+			return
+		}
+		for _, m := range inbox {
+			switch m.Kind {
+			case req:
+				if st.seen {
+					// Duplicate request: answer with an empty echo so the
+					// sender's pending count settles.
+					ctx.Send(m.From, echo, 0, 0, 0)
+					continue
+				}
+				st.seen = true
+				st.parent = m.From
+				st.sum = value(ctx.ID)
+				st.count = 1
+				nbrs := othersOf(ctx, m.From)
+				st.pending = len(nbrs)
+				for _, v := range nbrs {
+					ctx.Send(v, req, 0, 0, 0)
+				}
+				if st.pending == 0 {
+					finish(ctx, st)
+				}
+			case echo:
+				st.sum += m.A
+				st.count += m.B
+				st.pending--
+				if st.pending == 0 && st.seen {
+					finish(ctx, st)
+				}
+			}
+		}
+	}
+	e.SetUniformProgram(prog)
+	rounds := e.Run([]graph.NodeID{initiator}, 4*topo.NumNodes()+8)
+	res.Rounds = rounds
+	res.Messages = e.Messages
+	return res
+}
+
+// BroadcastCost returns the rounds and messages of a plain flood from
+// initiator: every node forwards the notice to all neighbors on first
+// receipt (the Section 3 strawman uses this). Computed analytically from
+// BFS; rounds = eccentricity, messages = sum over nodes of forwarded
+// copies.
+func BroadcastCost(topo *graph.Graph, initiator graph.NodeID) (rounds, messages int) {
+	dist := topo.BFSDistances(initiator)
+	for id, d := range dist {
+		if d > rounds {
+			rounds = d
+		}
+		fan := 0
+		for _, v := range topo.Neighbors(id) {
+			if v != id {
+				fan++
+			}
+		}
+		if id == initiator {
+			messages += fan
+		} else if fan > 0 {
+			messages += fan - 1
+		}
+	}
+	return rounds, messages
+}

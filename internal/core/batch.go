@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file implements Section 5: handling multiple insertions/deletions
+// per adversarial step (Corollary 2). The adversary may insert or delete
+// up to epsilon*n nodes at once, subject to the paper's conditions:
+// at most a constant number of inserted nodes attach to any single
+// existing node; deletions must leave the remainder graph connected and
+// every deleted node must keep at least one surviving neighbor.
+//
+// The batch is recovered within a single step's metrics envelope. The
+// members are processed through the same walk/type-2 ladder as single
+// operations - costs simply accumulate, matching the paper's
+// O(n log^2 n) messages / O(log^3 n) rounds per-batch budget, which the
+// MULTI experiment verifies empirically.
+
+// InsertSpec names one inserted node and its adversarial attach point.
+type InsertSpec struct {
+	ID     NodeID
+	Attach NodeID
+}
+
+// maxAttachFanIn bounds how many batch members may attach to one node
+// (the paper's "constant number" restriction).
+const maxAttachFanIn = 8
+
+// InsertBatch performs one adversarial step inserting all specs at once.
+func (nw *Network) InsertBatch(specs []InsertSpec) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	fanIn := make(map[NodeID]int)
+	seen := make(map[NodeID]bool, len(specs))
+	for _, s := range specs {
+		if seen[s.ID] {
+			return fmt.Errorf("%w: %d repeated in batch", ErrDuplicateID, s.ID)
+		}
+		seen[s.ID] = true
+		if _, dup := nw.sim[s.ID]; dup {
+			return fmt.Errorf("%w: %d", ErrDuplicateID, s.ID)
+		}
+		if _, ok := nw.sim[s.Attach]; !ok {
+			return fmt.Errorf("%w: attach point %d", ErrUnknownNode, s.Attach)
+		}
+		fanIn[s.Attach]++
+		if fanIn[s.Attach] > maxAttachFanIn {
+			return fmt.Errorf("core: more than %d batch members attach to node %d", maxAttachFanIn, s.Attach)
+		}
+	}
+	nw.beginStep(OpBatchInsert, specs[0].ID)
+	for _, s := range specs {
+		if s.ID >= nw.nextID {
+			nw.nextID = s.ID + 1
+		}
+		nw.real.AddNode(s.ID)
+		nw.sim[s.ID] = make(map[Vertex]struct{})
+		nw.setLoad(s.ID, 0, true)
+		nw.rebuiltReal = false
+		nw.addRealEdge(s.ID, s.Attach)
+		nw.recoverInsert(s.ID, s.Attach)
+		if !nw.rebuiltReal {
+			nw.removeRealEdge(s.ID, s.Attach)
+		}
+	}
+	nw.afterRecovery(specs[0].Attach)
+	nw.endStep()
+	return nil
+}
+
+// DeleteBatch performs one adversarial step deleting all ids at once,
+// enforcing Section 5's connectivity conditions.
+func (nw *Network) DeleteBatch(ids []NodeID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	victim := make(map[NodeID]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := nw.sim[id]; !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+		}
+		if victim[id] {
+			return fmt.Errorf("core: %d repeated in batch", id)
+		}
+		victim[id] = true
+	}
+	if nw.Size()-len(ids) < 4 {
+		return ErrTooSmall
+	}
+	// The adversary may only delete node sets whose removal leaves the
+	// graph connected with a surviving neighbor per victim.
+	remainder := nw.real.Clone()
+	for id := range victim {
+		remainder.RemoveNode(id)
+	}
+	if !remainder.Connected() {
+		return fmt.Errorf("core: batch deletion would disconnect the network")
+	}
+	for _, id := range ids {
+		hasSurvivor := false
+		for _, v := range nw.real.Neighbors(id) {
+			if v != id && !victim[v] {
+				hasSurvivor = true
+				break
+			}
+		}
+		if !hasSurvivor {
+			return fmt.Errorf("core: victim %d has no surviving neighbor", id)
+		}
+	}
+
+	nw.beginStep(OpBatchDelete, ids[0])
+	for _, id := range ids {
+		// Adoption by the smallest surviving non-victim neighbor.
+		var v NodeID = -1
+		for _, nb := range nw.real.Neighbors(id) {
+			if nb != id && !victim[nb] {
+				v = nb
+				break
+			}
+		}
+		if v < 0 {
+			// All direct neighbors were already deleted this batch; the
+			// vertices were adopted along: pick any live node adjacent in
+			// the virtual structure.
+			v = nw.anySurvivor(victim)
+		}
+		coordLost := nw.simOf[0] == id
+		orphans := nw.vertexHoldings(id)
+		for _, h := range orphans {
+			nw.moveHolding(h, v)
+		}
+		nw.real.RemoveNode(id)
+		delete(nw.sim, id)
+		nw.dropLoadEntry(id)
+		if coordLost {
+			nw.step.Messages += 2
+			nw.step.Rounds++
+		}
+		nw.redistributeFrom(v, orphans)
+		if nw.rebuiltReal {
+			// A type-2 rebuild re-homed everything; later victims still
+			// need their own adoption, so continue the loop.
+			nw.rebuiltReal = false
+		}
+	}
+	nw.afterRecovery(nw.anySurvivor(nil))
+	nw.endStep()
+	return nil
+}
+
+// anySurvivor returns the smallest live node not in the exclusion set.
+func (nw *Network) anySurvivor(excl map[NodeID]bool) NodeID {
+	best := NodeID(-1)
+	for u := range nw.sim {
+		if excl != nil && excl[u] {
+			continue
+		}
+		if best < 0 || u < best {
+			best = u
+		}
+	}
+	if best < 0 {
+		panic("core: no survivor")
+	}
+	return best
+}
+
+// NewWithMapping builds a network directly from an explicit virtual
+// mapping: owner[x] is the node simulating vertex x of Z(p). Used by the
+// Figure 1 reproduction and by tests that need a precise starting state.
+// The mapping must be surjective onto its node set with loads <= 4*zeta.
+func NewWithMapping(p int64, owner []graph.NodeID, cfg Config) (*Network, error) {
+	if int64(len(owner)) != p {
+		return nil, fmt.Errorf("core: owner table has %d entries, want %d", len(owner), p)
+	}
+	z, err := newCycleChecked(p)
+	if err != nil {
+		return nil, err
+	}
+	nw := &Network{
+		cfg:   cfg,
+		rng:   newRng(cfg.Seed),
+		z:     z,
+		simOf: append([]NodeID(nil), owner...),
+		sim:   make(map[NodeID]map[Vertex]struct{}),
+		load:  make(map[NodeID]int),
+		real:  graph.New(),
+	}
+	for x := int64(0); x < p; x++ {
+		u := owner[x]
+		if nw.sim[u] == nil {
+			nw.sim[u] = make(map[Vertex]struct{})
+			nw.real.AddNode(u)
+		}
+		nw.sim[u][x] = struct{}{}
+		if u >= nw.nextID {
+			nw.nextID = u + 1
+		}
+	}
+	for u, set := range nw.sim {
+		if len(set) > 4*cfg.Zeta {
+			return nil, fmt.Errorf("core: node %d load %d exceeds 4*zeta", u, len(set))
+		}
+		nw.setLoad(u, len(set), true)
+	}
+	nw.rebuildRealFromVirtual()
+	nw.refreshDist0()
+	return nw, nil
+}

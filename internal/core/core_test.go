@@ -1,0 +1,359 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func mustNew(t testing.TB, n0 int, cfg Config) *Network {
+	t.Helper()
+	nw, err := New(n0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatalf("initial invariants: %v", err)
+	}
+	return nw
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, DefaultConfig()); err == nil {
+		t.Fatal("accepted n0=2")
+	}
+	bad := DefaultConfig()
+	bad.Theta = 0
+	if _, err := New(16, bad); err == nil {
+		t.Fatal("accepted theta=0")
+	}
+}
+
+func TestInitialNetworkShape(t *testing.T) {
+	nw := mustNew(t, 16, DefaultConfig())
+	if nw.Size() != 16 {
+		t.Fatalf("size = %d", nw.Size())
+	}
+	p := nw.P()
+	if p <= 64 || p >= 128 {
+		t.Fatalf("p0 = %d outside (64, 128)", p)
+	}
+	// Every node has at most 3*Load incident edge slots (Section 3.1;
+	// virtual edges internal to a node contract to self-loops, so the
+	// multigraph degree can only be smaller).
+	for _, u := range nw.Nodes() {
+		d, l := nw.Graph().Degree(u), nw.Load(u)
+		if d > 3*l || d < 1 {
+			t.Fatalf("degree(%d) = %d, load = %d", u, d, l)
+		}
+	}
+	if gap := spectral.Gap(nw.Graph()); gap < 0.01 {
+		t.Fatalf("initial gap = %v", gap)
+	}
+}
+
+func TestInsertBasic(t *testing.T) {
+	nw := mustNew(t, 16, DefaultConfig())
+	id := nw.FreshID()
+	if err := nw.Insert(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Size() != 17 {
+		t.Fatalf("size = %d", nw.Size())
+	}
+	if nw.Load(id) < 1 {
+		t.Fatal("inserted node has no vertex")
+	}
+	m := nw.LastStep()
+	if m.Op != OpInsert || m.Recovery != RecoveryType1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Rounds <= 0 || m.Messages <= 0 {
+		t.Fatalf("no cost recorded: %+v", m)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	nw := mustNew(t, 16, DefaultConfig())
+	if err := nw.Insert(3, 0); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := nw.Insert(nw.FreshID(), 999); err == nil {
+		t.Fatal("unknown attach point accepted")
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	nw := mustNew(t, 16, DefaultConfig())
+	if err := nw.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Size() != 15 {
+		t.Fatalf("size = %d", nw.Size())
+	}
+	if nw.Graph().HasNode(5) {
+		t.Fatal("deleted node still present")
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	nw := mustNew(t, 16, DefaultConfig())
+	if err := nw.Delete(999); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	small := mustNew(t, 4, DefaultConfig())
+	if err := small.Delete(0); err != ErrTooSmall {
+		t.Fatalf("expected ErrTooSmall, got %v", err)
+	}
+}
+
+func TestDeleteCoordinator(t *testing.T) {
+	// Deleting the simulator of vertex 0 must hand the coordinator role
+	// to the adopting node without breaking anything.
+	nw := mustNew(t, 16, DefaultConfig())
+	for i := 0; i < 8; i++ {
+		coord := nw.Coordinator()
+		if err := nw.Delete(coord); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("after deleting coordinator %d: %v", coord, err)
+		}
+		if nw.Coordinator() == coord {
+			t.Fatal("coordinator unchanged after deletion")
+		}
+	}
+}
+
+// churn drives mixed random operations and validates invariants after
+// every step.
+func churn(t *testing.T, nw *Network, steps int, pInsert float64, seed int64, checkEvery int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < pInsert || nw.Size() <= 6 {
+			attach := nodes[rng.Intn(len(nodes))]
+			if err := nw.Insert(nw.FreshID(), attach); err != nil {
+				t.Fatalf("step %d insert: %v", i, err)
+			}
+		} else {
+			victim := nodes[rng.Intn(len(nodes))]
+			if err := nw.Delete(victim); err != nil {
+				t.Fatalf("step %d delete %d: %v", i, victim, err)
+			}
+		}
+		if checkEvery > 0 && i%checkEvery == 0 {
+			if err := nw.CheckInvariants(); err != nil {
+				t.Fatalf("step %d (%s): %v\nstag: %s", i, nw.LastStep().Op, err, nw.RebuildDebug())
+			}
+		}
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatalf("final: %v", err)
+	}
+}
+
+func TestChurnMixedSimplified(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = Simplified
+	nw := mustNew(t, 24, cfg)
+	churn(t, nw, 400, 0.5, 42, 1)
+}
+
+func TestChurnMixedStaggered(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = Staggered
+	nw := mustNew(t, 24, cfg)
+	churn(t, nw, 400, 0.5, 42, 1)
+}
+
+func TestChurnInsertHeavyForcesInflation(t *testing.T) {
+	for _, mode := range []RecoveryMode{Simplified, Staggered} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		nw := mustNew(t, 16, cfg)
+		p0 := nw.P()
+		churn(t, nw, 600, 0.95, 7, 1)
+		if nw.P() <= p0 {
+			t.Fatalf("mode %v: no inflation after insert-heavy churn (p=%d, n=%d)", mode, nw.P(), nw.Size())
+		}
+		inflations := 0
+		for _, m := range nw.History() {
+			if m.Recovery == RecoveryInflate || m.StaggerStarted {
+				inflations++
+			}
+		}
+		if inflations == 0 {
+			t.Fatalf("mode %v: no inflation recorded", mode)
+		}
+	}
+}
+
+func TestChurnDeleteHeavyForcesDeflation(t *testing.T) {
+	for _, mode := range []RecoveryMode{Simplified, Staggered} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		nw := mustNew(t, 16, cfg)
+		// Grow first so there is room to shrink.
+		churn(t, nw, 700, 1.0, 11, 50)
+		pGrown := nw.P()
+		churn(t, nw, 900, 0.02, 13, 1)
+		if nw.P() >= pGrown {
+			t.Fatalf("mode %v: no deflation after delete-heavy churn (p=%d, n=%d)", mode, nw.P(), nw.Size())
+		}
+	}
+}
+
+func TestLoadsBoundedUnderChurn(t *testing.T) {
+	cfg := DefaultConfig()
+	nw := mustNew(t, 32, cfg)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < 0.5 || nw.Size() <= 6 {
+			nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))])
+		} else {
+			nw.Delete(nodes[rng.Intn(len(nodes))])
+		}
+		bound := 4 * cfg.Zeta
+		if active, _ := nw.Rebuilding(); active {
+			bound = 8 * cfg.Zeta
+		}
+		if ml := nw.MaxLoad(); ml > bound {
+			t.Fatalf("step %d: max load %d exceeds %d", i, ml, bound)
+		}
+	}
+}
+
+func TestSpectralGapConstantUnderChurn(t *testing.T) {
+	// Lemma 7 / Lemma 9(b): the gap never collapses, at any step,
+	// including mid-rebuild.
+	cfg := DefaultConfig()
+	nw := mustNew(t, 24, cfg)
+	rng := rand.New(rand.NewSource(9))
+	minGap := math.Inf(1)
+	for i := 0; i < 300; i++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < 0.6 || nw.Size() <= 6 {
+			nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))])
+		} else {
+			nw.Delete(nodes[rng.Intn(len(nodes))])
+		}
+		if i%10 == 0 {
+			if gap := spectral.Gap(nw.Graph()); gap < minGap {
+				minGap = gap
+			}
+		}
+	}
+	if minGap < 0.008 {
+		t.Fatalf("spectral gap collapsed to %v", minGap)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []StepMetrics {
+		cfg := DefaultConfig()
+		nw, _ := New(16, cfg)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 120; i++ {
+			nodes := nw.Nodes()
+			if rng.Float64() < 0.5 || nw.Size() <= 6 {
+				nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))])
+			} else {
+				nw.Delete(nodes[rng.Intn(len(nodes))])
+			}
+		}
+		return nw.History()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("history lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d diverged:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAdversarialAttachToSameVictim(t *testing.T) {
+	// Failure injection: the adversary attaches every new node to the
+	// same victim; constant degree must survive because the attachment
+	// edge is dropped after recovery.
+	nw := mustNew(t, 16, DefaultConfig())
+	for i := 0; i < 150; i++ {
+		if err := nw.Insert(nw.FreshID(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if d := nw.Graph().DistinctDegree(0); d > 3*4*nw.cfg.Zeta {
+		t.Fatalf("victim degree grew to %d", d)
+	}
+}
+
+func TestDeleteHighestLoadAdversary(t *testing.T) {
+	// Adaptive adversary: always delete the most loaded node (it knows
+	// the full state). Loads must stay bounded.
+	cfg := DefaultConfig()
+	nw := mustNew(t, 48, cfg)
+	for i := 0; i < 40; i++ {
+		var victim NodeID
+		best := -1
+		for _, u := range nw.Nodes() {
+			if l := nw.Load(u); l > best {
+				best = l
+				victim = u
+			}
+		}
+		if err := nw.Delete(victim); err != nil {
+			if err == ErrTooSmall {
+				break
+			}
+			t.Fatal(err)
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestWalkExhaustionZeroInNormalChurn(t *testing.T) {
+	cfg := DefaultConfig()
+	nw := mustNew(t, 24, cfg)
+	churn(t, nw, 300, 0.5, 21, 0)
+	if nw.walkExhaustion != 0 {
+		t.Fatalf("walk exhaustion fallback fired %d times", nw.walkExhaustion)
+	}
+}
+
+func TestHistoryAndAccessors(t *testing.T) {
+	nw := mustNew(t, 16, DefaultConfig())
+	if (nw.LastStep() != StepMetrics{}) {
+		t.Fatal("empty history should yield zero metrics")
+	}
+	nw.Insert(nw.FreshID(), 0)
+	if len(nw.History()) != 1 {
+		t.Fatal("history not recorded")
+	}
+	if nw.SpareCount() <= 0 || nw.LowCount() <= 0 {
+		t.Fatal("counters not tracking")
+	}
+	if nw.OwnerOf(0) != nw.Coordinator() {
+		t.Fatal("coordinator must simulate vertex 0")
+	}
+	if nw.OrphanRescues() != 0 {
+		t.Fatal("unexpected orphan rescues")
+	}
+}

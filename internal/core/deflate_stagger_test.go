@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// driveToDeflateStagger grows the network, then deletes until a
+// staggered deflation begins.
+func driveToDeflateStagger(t *testing.T, nw *Network) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	// Grow well past the current p-cycle so loads rise when we shrink.
+	for i := 0; i < 900; i++ {
+		nodes := nw.Nodes()
+		if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let any inflation staggering finish first.
+	for {
+		if active, _ := nw.Rebuilding(); !active {
+			break
+		}
+		nodes := nw.Nodes()
+		if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		nodes := nw.Nodes()
+		if err := nw.Delete(nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+		if active, _ := nw.Rebuilding(); active {
+			if nw.stag.dir == deflateDir {
+				return
+			}
+		}
+		if nw.Size() <= 8 {
+			t.Skip("network shrank to minimum before a deflation trigger")
+		}
+	}
+	t.Fatal("no staggered deflation triggered")
+}
+
+func TestInsertionsDuringStaggeredDeflation(t *testing.T) {
+	cfg := DefaultConfig()
+	nw := mustNew(t, 24, cfg)
+	driveToDeflateStagger(t, nw)
+
+	// Insert aggressively while the deflation is mid-flight: donations
+	// must pick safe holdings and all invariants must hold each step.
+	rng := rand.New(rand.NewSource(37))
+	steps := 0
+	for {
+		active, _ := nw.Rebuilding()
+		if !active {
+			break
+		}
+		nodes := nw.Nodes()
+		var err error
+		if steps%3 == 0 {
+			err = nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))])
+		} else {
+			err = nw.Delete(nodes[rng.Intn(len(nodes))])
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("step %d (%s): %v", steps, nw.RebuildDebug(), err)
+		}
+		steps++
+		if steps > 50000 {
+			t.Fatal("deflation never completed")
+		}
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.MaxLoad() > 4*cfg.Zeta {
+		t.Fatalf("post-deflation max load %d", nw.MaxLoad())
+	}
+}
+
+func TestStaggeredDeflationReducesP(t *testing.T) {
+	cfg := DefaultConfig()
+	nw := mustNew(t, 24, cfg)
+	driveToDeflateStagger(t, nw)
+	pDuring := nw.P()
+	rng := rand.New(rand.NewSource(41))
+	for {
+		active, _ := nw.Rebuilding()
+		if !active {
+			break
+		}
+		nodes := nw.Nodes()
+		if err := nw.Delete(nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+		if nw.Size() <= 8 {
+			nw.finishStaggerNow()
+			break
+		}
+	}
+	if nw.P() >= pDuring {
+		t.Fatalf("deflation did not shrink p: %d -> %d", pDuring, nw.P())
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

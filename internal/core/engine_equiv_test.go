@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// TestWalkFastPathMatchesEngineOnOverlay is the fidelity bridge promised
+// in DESIGN.md: the direct token walk the maintainer uses for type-1
+// recovery behaves identically - same endpoint, same hit flag, same step
+// count (= messages = rounds) - to the goroutine message-passing
+// execution on the live DEX overlay graph.
+func TestWalkFastPathMatchesEngineOnOverlay(t *testing.T) {
+	nw := mustNew(t, 24, DefaultConfig())
+	churnQuiet(t, nw, 60)
+	g := nw.Graph()
+	stop := func(u graph.NodeID) bool { return nw.Load(u) >= 2 }
+	start := nw.Nodes()[0]
+	for seed := uint64(1); seed <= 30; seed++ {
+		d := congest.RandomWalkDirect(g, start, -1, nw.walkLen(), seed, stop)
+		e := congest.NewEngine(g)
+		w := congest.RandomWalkEngine(e, start, -1, nw.walkLen(), seed, stop)
+		if d != w {
+			t.Fatalf("seed %d: direct %+v vs engine %+v", seed, d, w)
+		}
+	}
+}
+
+// TestFloodMatchesCounters checks that Algorithm 4.4's flood, executed as
+// a real message-passing protocol on the overlay, reports exactly the
+// coordinator's |Spare| counter.
+func TestFloodMatchesCounters(t *testing.T) {
+	nw := mustNew(t, 24, DefaultConfig())
+	churnQuiet(t, nw, 80)
+	agg := congest.FloodAggregate(nw.Graph(), nw.Coordinator(), func(u graph.NodeID) int64 {
+		if nw.Load(u) >= 2 {
+			return 1
+		}
+		return 0
+	})
+	if int(agg.Sum) != nw.SpareCount() {
+		t.Fatalf("flooded |Spare| = %d, counter = %d", agg.Sum, nw.SpareCount())
+	}
+	if int(agg.Count) != nw.Size() {
+		t.Fatalf("flooded n = %d, actual = %d", agg.Count, nw.Size())
+	}
+}
+
+func churnQuiet(t testing.TB, nw *Network, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < steps; i++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < 0.5 || nw.Size() <= 6 {
+			if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := nw.Delete(nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// Property: arbitrary operation sequences preserve all invariants, in
+// both recovery modes (testing/quick drives the op mix and seeds).
+func TestInvariantsQuick(t *testing.T) {
+	f := func(seed int64, insertBias uint8) bool {
+		cfg := DefaultConfig()
+		if seed%2 == 0 {
+			cfg.Mode = Simplified
+		}
+		cfg.Seed = seed
+		nw, err := New(12, cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p := 0.2 + float64(insertBias%60)/100.0 // insert prob in [0.2, 0.8)
+		for i := 0; i < 120; i++ {
+			nodes := nw.Nodes()
+			if rng.Float64() < p || nw.Size() <= 6 {
+				if nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]) != nil {
+					return false
+				}
+			} else {
+				if nw.Delete(nodes[rng.Intn(len(nodes))]) != nil {
+					return false
+				}
+			}
+			if i%7 == 0 && nw.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return nw.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

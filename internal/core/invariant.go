@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// CheckInvariants validates every structural property the paper
+// guarantees. It is O(p + E) and intended for tests and the harness's
+// audit mode, not for per-step production use.
+//
+// Checked invariants:
+//
+//	(I1) the real graph's internal adjacency is consistent;
+//	(I2) Phi is a function onto the node set: simOf and the per-node Sim
+//	     sets agree, and every node simulates >= 1 vertex (Definition 2);
+//	(I3) loads: load(u) = |Sim(u)| (+ new holdings during staggering),
+//	     bounded by 4*zeta steady-state (Lemma 3/5) and 8*zeta during a
+//	     staggered rebuild (Lemma 9(a));
+//	(I4) the real graph is exactly the contraction of the current virtual
+//	     structure under Phi - including, mid-rebuild, the partial new
+//	     cycle and its intermediate edges;
+//	(I5) the real graph is connected;
+//	(I6) the coordinator's |Spare| and |Low| counters match a recount;
+//	(I7) p is prime and p >= n (surjectivity requires it);
+//	(I8) staggering bookkeeping (effNew, unprocOld, pending) is coherent.
+func (nw *Network) CheckInvariants() error {
+	if err := nw.real.Validate(); err != nil {
+		return fmt.Errorf("I1: %w", err)
+	}
+
+	// (I2) mapping consistency.
+	p := nw.z.P()
+	if int64(len(nw.simOf)) != p {
+		return fmt.Errorf("I2: simOf length %d != p %d", len(nw.simOf), p)
+	}
+	for x := int64(0); x < p; x++ {
+		if nw.stag != nil && nw.stag.phase == 2 && nw.stag.dropped(x) {
+			continue
+		}
+		u := nw.simOf[x]
+		set, ok := nw.sim[u]
+		if !ok {
+			return fmt.Errorf("I2: vertex %d mapped to unknown node %d", x, u)
+		}
+		if _, ok := set[x]; !ok {
+			return fmt.Errorf("I2: vertex %d not in Sim(%d)", x, u)
+		}
+	}
+	counted := 0
+	for u, set := range nw.sim {
+		for x := range set {
+			if nw.simOf[x] != u {
+				return fmt.Errorf("I2: Sim(%d) contains %d owned by %d", u, x, nw.simOf[x])
+			}
+		}
+		counted += len(set)
+	}
+	if nw.stag == nil && int64(counted) != p {
+		return fmt.Errorf("I2: %d vertices assigned, want %d", counted, p)
+	}
+
+	// (I3) loads and bounds.
+	maxLoad := 4 * nw.cfg.Zeta
+	if nw.stag != nil {
+		maxLoad = 8 * nw.cfg.Zeta
+	}
+	for u, set := range nw.sim {
+		want := len(set)
+		if nw.stag != nil {
+			want += nw.stag.newCount(u)
+		}
+		if nw.load[u] != want {
+			return fmt.Errorf("I3: load(%d) = %d, want %d", u, nw.load[u], want)
+		}
+		if want < 1 {
+			return fmt.Errorf("I3: node %d simulates nothing (surjectivity broken)", u)
+		}
+		if want > maxLoad {
+			return fmt.Errorf("I3: load(%d) = %d exceeds bound %d", u, want, maxLoad)
+		}
+	}
+	if len(nw.load) != len(nw.sim) {
+		return fmt.Errorf("I3: load table size %d != node count %d", len(nw.load), len(nw.sim))
+	}
+
+	// (I4) real graph = contraction of the virtual structure.
+	want := nw.expectedRealGraph()
+	if err := graphsEqual(nw.real, want); err != nil {
+		return fmt.Errorf("I4: %w", err)
+	}
+
+	// (I5) connectivity.
+	if !nw.real.Connected() {
+		return fmt.Errorf("I5: real graph disconnected (n=%d)", nw.Size())
+	}
+
+	// (I6) counter recount.
+	spare, low := 0, 0
+	for _, l := range nw.load {
+		if l >= 2 {
+			spare++
+		}
+		if l <= 2*nw.cfg.Zeta {
+			low++
+		}
+	}
+	if spare != nw.nSpare || low != nw.nLow {
+		return fmt.Errorf("I6: counters spare=%d/%d low=%d/%d", nw.nSpare, spare, nw.nLow, low)
+	}
+
+	// (I7) modulus sanity.
+	if int64(nw.Size()) > p {
+		return fmt.Errorf("I7: n=%d exceeds p=%d", nw.Size(), p)
+	}
+
+	// (I8) staggering bookkeeping.
+	if s := nw.stag; s != nil {
+		for u := range nw.sim {
+			unproc, proj := 0, 0
+			for x := range nw.sim[u] {
+				if !s.processedFlag[x] {
+					unproc++
+					proj += s.projection(x)
+				}
+			}
+			if s.unprocOld[u] != unproc {
+				return fmt.Errorf("I8: unprocOld(%d) = %d, want %d", u, s.unprocOld[u], unproc)
+			}
+			if s.effNew[u] != proj+s.newCount(u) {
+				return fmt.Errorf("I8: effNew(%d) = %d, want %d+%d", u, s.effNew[u], proj, s.newCount(u))
+			}
+		}
+		for y, u := range s.newSimOf {
+			if u < 0 {
+				continue
+			}
+			if _, ok := s.newSim[u][Vertex(y)]; !ok {
+				return fmt.Errorf("I8: new vertex %d not in newSim(%d)", y, u)
+			}
+		}
+		for x, pes := range s.pending {
+			if s.processedFlag[x] {
+				return fmt.Errorf("I8: pending entries on processed vertex %d", x)
+			}
+			for _, pe := range pes {
+				if s.newSimOf[pe.src] < 0 {
+					return fmt.Errorf("I8: pending source %d not generated", pe.src)
+				}
+				if s.newSimOf[pe.dst] >= 0 {
+					return fmt.Errorf("I8: pending target %d already generated", pe.dst)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// expectedRealGraph recomputes the contraction of the current virtual
+// structure from scratch (ground truth for I4).
+func (nw *Network) expectedRealGraph() *graph.Graph {
+	g := graph.New()
+	for u := range nw.sim {
+		g.AddNode(u)
+	}
+	s := nw.stag
+	p := nw.z.P()
+	aliveOld := func(x Vertex) bool {
+		return s == nil || !s.droppedFlag[x]
+	}
+	for x := int64(0); x < p; x++ {
+		if !aliveOld(x) {
+			continue
+		}
+		if t := nw.z.Succ(x); aliveOld(t) {
+			g.AddEdge(nw.simOf[x], nw.simOf[t])
+		}
+		if t := nw.z.Inv(x); t >= x && aliveOld(t) {
+			g.AddEdge(nw.simOf[x], nw.simOf[t])
+		}
+	}
+	if s == nil {
+		return g
+	}
+	pNew := s.zNew.P()
+	for y := int64(0); y < pNew; y++ {
+		u := s.newSimOf[y]
+		if u < 0 {
+			continue
+		}
+		// Successor edge, owned by y.
+		if t := s.zNew.Succ(y); s.newSimOf[t] >= 0 {
+			g.AddEdge(u, s.newSimOf[t])
+		} else {
+			g.AddEdge(u, nw.simOf[s.ownerOld(t)])
+		}
+		// Chord, owned by the smaller endpoint (self-loops own themselves).
+		t := s.zNew.Inv(y)
+		switch {
+		case t == y:
+			g.AddEdge(u, u)
+		case y < t && s.newSimOf[t] >= 0:
+			g.AddEdge(u, s.newSimOf[t])
+		case y < t:
+			g.AddEdge(u, nw.simOf[s.ownerOld(t)])
+		}
+	}
+	return g
+}
+
+// graphsEqual compares node sets and edge multisets.
+func graphsEqual(got, want *graph.Graph) error {
+	if got.NumNodes() != want.NumNodes() {
+		return fmt.Errorf("node count %d != %d", got.NumNodes(), want.NumNodes())
+	}
+	for _, u := range want.Nodes() {
+		if !got.HasNode(u) {
+			return fmt.Errorf("missing node %d", u)
+		}
+	}
+	if got.NumEdges() != want.NumEdges() {
+		return fmt.Errorf("edge count %d != %d", got.NumEdges(), want.NumEdges())
+	}
+	for _, e := range want.Edges() {
+		if got.Multiplicity(e.U, e.V) != e.Mult {
+			return fmt.Errorf("edge {%d,%d} multiplicity %d != %d",
+				e.U, e.V, got.Multiplicity(e.U, e.V), e.Mult)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package core
+
+// OpKind identifies the adversarial operation that triggered a step.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpBatchInsert
+	OpBatchDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpBatchInsert:
+		return "batch-insert"
+	case OpBatchDelete:
+		return "batch-delete"
+	}
+	return "?"
+}
+
+// RecoveryKind identifies which recovery path handled the step.
+type RecoveryKind int
+
+// Recovery kinds.
+const (
+	RecoveryType1 RecoveryKind = iota
+	RecoveryInflate
+	RecoveryDeflate
+)
+
+func (k RecoveryKind) String() string {
+	switch k {
+	case RecoveryInflate:
+		return "type2-inflate"
+	case RecoveryDeflate:
+		return "type2-deflate"
+	}
+	return "type1"
+}
+
+// StepMetrics records the paper's cost measures for one adversarial step
+// (Theorem 1's quantities: rounds, messages, topology changes).
+type StepMetrics struct {
+	Step   int
+	Op     OpKind
+	Target NodeID
+
+	Rounds          int
+	Messages        int
+	TopologyChanges int
+
+	Recovery    RecoveryKind
+	WalkRetries int
+	Floods      int
+
+	// StaggerActive reports whether a staggered rebuild was in flight
+	// during the step; StaggerStarted/StaggerFinished flag its endpoints.
+	StaggerActive   bool
+	StaggerStarted  bool
+	StaggerFinished bool
+
+	// Post-step state snapshot.
+	N int
+	P int64
+}
+
+func (nw *Network) beginStep(op OpKind, target NodeID) {
+	nw.step = StepMetrics{Step: len(nw.history) + 1, Op: op, Target: target}
+	nw.rebuiltReal = false
+}
+
+func (nw *Network) endStep() StepMetrics {
+	nw.step.N = nw.Size()
+	nw.step.P = nw.z.P()
+	nw.step.StaggerActive = nw.stag != nil || nw.step.StaggerFinished
+	nw.history = append(nw.history, nw.step)
+	return nw.step
+}
+
+// LastStep returns the metrics of the most recent step.
+func (nw *Network) LastStep() StepMetrics {
+	if len(nw.history) == 0 {
+		return StepMetrics{}
+	}
+	return nw.history[len(nw.history)-1]
+}

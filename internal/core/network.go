@@ -1,0 +1,492 @@
+// Package core implements DEX, the paper's self-healing expander
+// maintenance algorithm (Sections 3-5).
+//
+// A Network simulates the distributed system at the protocol level: the
+// real overlay graph G_t is maintained as the vertex contraction of a
+// virtual p-cycle expander Z(p) under the balanced virtual mapping Phi
+// (Definitions 1-3), and every insertion or deletion triggers the paper's
+// recovery procedures:
+//
+//   - type-1 recovery (Algorithms 4.2/4.3): O(log n)-step random walks
+//     rebalance O(1) virtual vertices;
+//   - simplified type-2 recovery (Algorithms 4.5/4.6): one-step inflation
+//     or deflation of the whole p-cycle, amortized over the Omega(n)
+//     type-1 steps between rebuilds (Corollary 1);
+//   - staggered type-2 recovery (Algorithms 4.7/4.8/4.9): a coordinator
+//     (the simulator of vertex 0) triggers rebuilds early and spreads
+//     them over Theta(n) steps, giving the worst-case O(log n)
+//     rounds/messages and O(1) topology changes of Theorem 1.
+//
+// Costs (rounds, messages, topology changes) are counted exactly as the
+// paper counts them: every walk hop, flood crossing, routed control hop
+// and edge change increments a counter. The congest package proves the
+// walk and flood fast paths equal their goroutine message-passing
+// executions, so these counters are faithful to the CONGEST model.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/pcycle"
+	"repro/internal/primes"
+)
+
+// Vertex aliases a p-cycle vertex.
+type Vertex = pcycle.Vertex
+
+// NodeID aliases the real-network node identifier.
+type NodeID = graph.NodeID
+
+// RecoveryMode selects how type-2 recovery is performed.
+type RecoveryMode int
+
+const (
+	// Simplified rebuilds the whole virtual graph in a single step
+	// (Algorithms 4.5/4.6): amortized bounds of Corollary 1.
+	Simplified RecoveryMode = iota
+	// Staggered spreads rebuilds over Theta(n) steps via the coordinator
+	// (Algorithms 4.7-4.9): worst-case bounds of Theorem 1.
+	Staggered
+)
+
+func (m RecoveryMode) String() string {
+	if m == Staggered {
+		return "staggered"
+	}
+	return "simplified"
+}
+
+// Config parameterizes a DEX network.
+type Config struct {
+	// Zeta is the maximum cloud size of the p-cycle construction; the
+	// paper fixes zeta <= 8 and so do we (it is exposed for ablations).
+	Zeta int
+	// Theta is the rebuilding parameter theta. The paper's proofs need
+	// theta <= 1/(68*zeta+1); experiments default to a larger 1/64, which
+	// keeps staggering phases short while all invariants continue to hold
+	// empirically (ablation AB-THETA explores this).
+	Theta float64
+	// WalkFactor is c in the walk length c*ceil(log2 n).
+	WalkFactor int
+	// WalkRetryLimit caps type-1 walk retries before the implementation
+	// reports a failure (the paper retries forever; the cap only guards
+	// against implementation bugs and is never hit in the experiments).
+	WalkRetryLimit int
+	// Mode selects simplified or staggered type-2 recovery.
+	Mode RecoveryMode
+	// Seed drives all randomized choices.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Zeta:           8,
+		Theta:          1.0 / 64,
+		WalkFactor:     4,
+		WalkRetryLimit: 64,
+		Mode:           Staggered,
+		Seed:           1,
+	}
+}
+
+// Network is a DEX-maintained overlay network.
+type Network struct {
+	cfg Config
+	rng *rand.Rand
+
+	z     *pcycle.Cycle // current virtual graph Z(p)
+	simOf []NodeID      // Phi: vertex -> simulating node
+	sim   map[NodeID]map[Vertex]struct{}
+	load  map[NodeID]int // total load incl. staggering new vertices
+	real  *graph.Graph   // the overlay graph G_t (contraction of Z under Phi)
+
+	dist0 []int32 // cached BFS distances from vertex 0 (coordinator routing)
+
+	nSpare int // |{u : load(u) >= 2}|
+	nLow   int // |{u : load(u) <= 2*zeta}|
+
+	stag *stagger // non-nil while a staggered rebuild is in flight
+
+	nextID NodeID // smallest never-used node id (callers may pass their own)
+
+	step        StepMetrics
+	history     []StepMetrics
+	rebuiltReal bool // set when a one-step type-2 rebuild replaced nw.real
+
+	// failure counters for the pathological paths (never hit in normal
+	// operation; exercised by failure-injection tests).
+	orphanRescues  int
+	walkExhaustion int
+
+	// transferObserver, when set, is invoked after a current-cycle vertex
+	// migrates between nodes (the DHT uses it to migrate and account for
+	// the vertex's key/value items, cf. Section 4.4.4).
+	transferObserver func(x Vertex, from, to NodeID)
+	// rebuildObserver, when set, is invoked after the virtual graph is
+	// replaced (inflation/deflation commit) with the new modulus.
+	rebuildObserver func(pNew int64)
+}
+
+// New builds an initial DEX network of n0 >= 4 nodes with ids 0..n0-1,
+// mapped onto Z(p0) for the smallest prime p0 in (4*n0, 8*n0), exactly as
+// Section 4's initialization prescribes.
+func New(n0 int, cfg Config) (*Network, error) {
+	if n0 < 4 {
+		return nil, fmt.Errorf("core: initial size %d < 4", n0)
+	}
+	if cfg.Zeta < 2 || cfg.Theta <= 0 || cfg.Theta > 0.5 || cfg.WalkFactor < 1 {
+		return nil, fmt.Errorf("core: invalid config %+v", cfg)
+	}
+	p0, ok := primes.FirstPrimeIn(int64(4*n0), int64(8*n0))
+	if !ok {
+		return nil, fmt.Errorf("core: no prime in (4*%d, 8*%d)", n0, n0)
+	}
+	z, err := pcycle.New(p0)
+	if err != nil {
+		return nil, err
+	}
+	nw := &Network{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		z:      z,
+		simOf:  make([]NodeID, p0),
+		sim:    make(map[NodeID]map[Vertex]struct{}, n0),
+		load:   make(map[NodeID]int, n0),
+		real:   graph.New(),
+		nextID: NodeID(n0),
+	}
+	for u := 0; u < n0; u++ {
+		nw.sim[NodeID(u)] = make(map[Vertex]struct{})
+		nw.real.AddNode(NodeID(u))
+	}
+	for x := int64(0); x < p0; x++ {
+		u := NodeID(x * int64(n0) / p0)
+		nw.simOf[x] = u
+		nw.sim[u][x] = struct{}{}
+	}
+	for u := 0; u < n0; u++ {
+		nw.setLoad(NodeID(u), len(nw.sim[NodeID(u)]), true)
+	}
+	nw.rebuildRealFromVirtual()
+	nw.refreshDist0()
+	return nw, nil
+}
+
+// --- basic accessors -------------------------------------------------------
+
+// Size returns the current number of real nodes n.
+func (nw *Network) Size() int { return len(nw.sim) }
+
+// P returns the current p-cycle modulus.
+func (nw *Network) P() int64 { return nw.z.P() }
+
+// Cycle returns the current virtual graph (read-only).
+func (nw *Network) Cycle() *pcycle.Cycle { return nw.z }
+
+// Graph returns the live overlay graph. Treat as read-only.
+func (nw *Network) Graph() *graph.Graph { return nw.real }
+
+// Nodes returns the current node ids in ascending order.
+func (nw *Network) Nodes() []NodeID { return nw.real.Nodes() }
+
+// Load returns the total number of virtual vertices simulated by u
+// (current p-cycle plus, during staggering, the next one).
+func (nw *Network) Load(u NodeID) int { return nw.load[u] }
+
+// OwnerOf returns the node simulating virtual vertex x of the current
+// p-cycle.
+func (nw *Network) OwnerOf(x Vertex) NodeID { return nw.simOf[x] }
+
+// Coordinator returns the node currently simulating vertex 0
+// (Algorithm 4.7's coordinator).
+func (nw *Network) Coordinator() NodeID { return nw.simOf[0] }
+
+// SpareCount and LowCount expose the coordinator's counters.
+func (nw *Network) SpareCount() int { return nw.nSpare }
+
+// LowCount returns |Low| = #{u : load(u) <= 2*zeta}.
+func (nw *Network) LowCount() int { return nw.nLow }
+
+// Rebuilding reports whether a staggered type-2 rebuild is in flight, and
+// its phase (0 when idle).
+func (nw *Network) Rebuilding() (active bool, phase int) {
+	if nw.stag == nil {
+		return false, 0
+	}
+	return true, nw.stag.phase
+}
+
+// History returns per-step metrics since creation.
+func (nw *Network) History() []StepMetrics { return nw.history }
+
+// OrphanRescues returns how many times the drop-time rescue path ran
+// (see stagger.go); zero in all normal operation.
+func (nw *Network) OrphanRescues() int { return nw.orphanRescues }
+
+// FreshID returns an unused node id and advances the internal counter;
+// adversaries may instead supply their own ids to Insert.
+func (nw *Network) FreshID() NodeID {
+	id := nw.nextID
+	nw.nextID++
+	return id
+}
+
+// MaxLoad returns the maximum total load over all nodes.
+func (nw *Network) MaxLoad() int {
+	m := 0
+	for _, l := range nw.load {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// walkLen returns the type-1 walk length c*ceil(log2 n).
+func (nw *Network) walkLen() int {
+	n := nw.Size()
+	if n < 2 {
+		return 1
+	}
+	return nw.cfg.WalkFactor * int(math.Ceil(math.Log2(float64(n))))
+}
+
+// --- load & set-size tracking ----------------------------------------------
+
+// setLoad updates u's load and the |Spare| / |Low| counters. fresh marks
+// a node that had no previous load entry.
+func (nw *Network) setLoad(u NodeID, l int, fresh bool) {
+	old, had := nw.load[u], !fresh
+	if fresh {
+		old = -1
+	}
+	if had && old == l {
+		return
+	}
+	lowT := 2 * nw.cfg.Zeta
+	if had {
+		if old >= 2 {
+			nw.nSpare--
+		}
+		if old <= lowT {
+			nw.nLow--
+		}
+	}
+	if l >= 2 {
+		nw.nSpare++
+	}
+	if l <= lowT {
+		nw.nLow++
+	}
+	nw.load[u] = l
+}
+
+// dropLoadEntry removes u from the load tracking (node deletion).
+func (nw *Network) dropLoadEntry(u NodeID) {
+	l, ok := nw.load[u]
+	if !ok {
+		return
+	}
+	if l >= 2 {
+		nw.nSpare--
+	}
+	if l <= 2*nw.cfg.Zeta {
+		nw.nLow--
+	}
+	delete(nw.load, u)
+}
+
+func (nw *Network) bumpLoad(u NodeID, delta int) {
+	nw.setLoad(u, nw.load[u]+delta, false)
+}
+
+// --- virtual-edge enumeration and vertex movement --------------------------
+
+// slotTargets returns the three virtual edge slots of x in the current
+// p-cycle.
+func (nw *Network) slotTargets(x Vertex) [3]Vertex { return nw.z.NeighborSlots(x) }
+
+// addRealEdge / removeRealEdge wrap graph mutations and count topology
+// changes for the current step.
+func (nw *Network) addRealEdge(a, b NodeID) {
+	nw.real.AddEdge(a, b)
+	nw.step.TopologyChanges++
+}
+
+func (nw *Network) removeRealEdge(a, b NodeID) {
+	if !nw.real.RemoveEdge(a, b) {
+		panic(fmt.Sprintf("core: removing absent real edge {%d,%d}", a, b))
+	}
+	nw.step.TopologyChanges++
+}
+
+// moveVertex transfers current-cycle vertex x from its simulator to node
+// w, updating the contraction's real edges slot by slot. During a
+// staggered rebuild the pending intermediate edges anchored at x move
+// with it (they are virtual edges (ySrc, x)).
+func (nw *Network) moveVertex(x Vertex, w NodeID) {
+	u := nw.simOf[x]
+	if u == w {
+		return
+	}
+	for _, t := range nw.slotTargets(x) {
+		if nw.stag != nil && nw.stag.phase == 2 && nw.stag.dropped(t) {
+			continue // edge already removed with the dropped endpoint
+		}
+		nw.removeRealEdge(u, nw.endpointOwner(x, t))
+	}
+	if nw.stag != nil {
+		for _, pe := range nw.stag.pending[x] {
+			nw.removeRealEdge(nw.stag.newSimOf[pe.src], u)
+		}
+	}
+	delete(nw.sim[u], x)
+	nw.bumpLoad(u, -1)
+	nw.simOf[x] = w
+	if nw.sim[w] == nil {
+		nw.sim[w] = make(map[Vertex]struct{})
+	}
+	nw.sim[w][x] = struct{}{}
+	nw.bumpLoad(w, 1)
+	for _, t := range nw.slotTargets(x) {
+		if nw.stag != nil && nw.stag.phase == 2 && nw.stag.dropped(t) {
+			continue
+		}
+		nw.addRealEdge(w, nw.endpointOwner(x, t))
+	}
+	if nw.stag != nil {
+		for _, pe := range nw.stag.pending[x] {
+			nw.addRealEdge(nw.stag.newSimOf[pe.src], w)
+		}
+		// An unprocessed vertex carries its projected cloud load and its
+		// pending-work accounting with it.
+		if !nw.stag.processed(x) {
+			nw.stag.effNew[u] -= nw.stag.projection(x)
+			nw.stag.effNew[w] += nw.stag.projection(x)
+			nw.stag.unprocOld[u]--
+			nw.stag.unprocOld[w]++
+		}
+	}
+	if nw.transferObserver != nil {
+		nw.transferObserver(x, u, w)
+	}
+}
+
+// SetTransferObserver registers a callback fired after each
+// current-cycle vertex migration (nil to clear).
+func (nw *Network) SetTransferObserver(f func(x Vertex, from, to NodeID)) {
+	nw.transferObserver = f
+}
+
+// SetRebuildObserver registers a callback fired after each virtual-graph
+// replacement with the new modulus (nil to clear).
+func (nw *Network) SetRebuildObserver(f func(pNew int64)) {
+	nw.rebuildObserver = f
+}
+
+// SomeVertexOf exposes one (the smallest) vertex simulated at u.
+func (nw *Network) SomeVertexOf(u NodeID) (Vertex, bool) { return nw.anyVertexOf(u) }
+
+// endpointOwner resolves the simulating node of slot target t of edge
+// (x, t); when t == x the edge is a self-loop at x's simulator.
+func (nw *Network) endpointOwner(x, t Vertex) NodeID {
+	if t == x {
+		return nw.simOf[x]
+	}
+	return nw.simOf[t]
+}
+
+// rebuildRealFromVirtual recomputes the full real graph from the virtual
+// structure; used at initialization and by the one-step (simplified)
+// type-2 rebuilds. Incremental updates are used everywhere else.
+func (nw *Network) rebuildRealFromVirtual() {
+	fresh := graph.New()
+	for u := range nw.sim {
+		fresh.AddNode(u)
+	}
+	p := nw.z.P()
+	for x := int64(0); x < p; x++ {
+		fresh.AddEdge(nw.simOf[x], nw.simOf[nw.z.Succ(x)])
+		if y := nw.z.Inv(x); y >= x {
+			fresh.AddEdge(nw.simOf[x], nw.simOf[y])
+		}
+	}
+	nw.real = fresh
+}
+
+// refreshDist0 recomputes the cached BFS tree of vertex 0 on the current
+// p-cycle (used for coordinator routing charges and the DHT router).
+func (nw *Network) refreshDist0() {
+	nw.dist0 = nw.z.DistancesFrom(0)
+}
+
+// Dist0 returns the virtual hop distance from x to vertex 0.
+func (nw *Network) Dist0(x Vertex) int { return int(nw.dist0[x]) }
+
+// anyVertexOf returns some vertex simulated at u (smallest for
+// determinism).
+func (nw *Network) anyVertexOf(u NodeID) (Vertex, bool) {
+	best := Vertex(-1)
+	for x := range nw.sim[u] {
+		if best < 0 || x < best {
+			best = x
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	if nw.stag != nil {
+		return nw.stag.anyNewVertexOf(u)
+	}
+	return 0, false
+}
+
+// chargeCoordinatorNotify accounts the post-recovery counter update
+// message from v to the coordinator (Algorithm 4.7 lines 5/11): one
+// O(log n)-bit message routed along a shortest virtual path to vertex 0,
+// plus the O(1) neighbor replication of the coordinator state.
+func (nw *Network) chargeCoordinatorNotify(v NodeID) {
+	x, ok := nw.anyVertexOf(v)
+	if !ok {
+		return
+	}
+	d := nw.z.DiameterUpperBound()
+	if x >= 0 && x < int64(len(nw.dist0)) && int(nw.dist0[x]) < d {
+		d = int(nw.dist0[x])
+	}
+	nw.step.Rounds += d
+	nw.step.Messages += d
+	coordDeg := nw.real.DistinctDegree(nw.simOf[0])
+	nw.step.Messages += coordDeg // state replication to neighbors
+	nw.step.Rounds++
+}
+
+// walkSeed draws a fresh token seed.
+func (nw *Network) walkSeed() uint64 { return nw.rng.Uint64() }
+
+// runWalk performs one type-1 token walk on the live overlay and charges
+// its cost.
+func (nw *Network) runWalk(start NodeID, exclude NodeID, stop func(NodeID) bool) congest.WalkResult {
+	res := congest.RandomWalkDirect(nw.real, start, exclude, nw.walkLen(), nw.walkSeed(), stop)
+	nw.step.Rounds += res.Steps
+	nw.step.Messages += res.Steps
+	return res
+}
+
+// errors exposed to adversaries / examples.
+var (
+	ErrUnknownNode = errors.New("core: unknown node")
+	ErrDuplicateID = errors.New("core: node id already present")
+	ErrTooSmall    = errors.New("core: refusing to shrink below 4 nodes")
+)
+
+// newCycleChecked and newRng keep batch.go free of direct dependencies.
+func newCycleChecked(p int64) (*pcycle.Cycle, error) { return pcycle.New(p) }
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,618 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pcycle"
+)
+
+// This file implements the staggered type-2 recovery of Section 4.4
+// (Algorithms 4.7/4.8/4.9), which yields Theorem 1's worst-case bounds:
+// instead of rebuilding the virtual graph in one step, the coordinator
+// (simulator of vertex 0) triggers the rebuild early - at |Spare| < 3*theta*n
+// for inflation, |Low| < 3*theta*n for deflation - and the rebuild is
+// spread over Theta(n) subsequent steps, each step processing a constant
+// batch of old vertices:
+//
+//   Phase 1 builds the next p-cycle alongside the current one. Processing
+//   old vertex x generates its cloud (inflation) or its dominated new
+//   vertex (deflation) at x's simulator, adds the new cycle/chord edges -
+//   or *intermediate edges* anchored at the old vertex that will generate
+//   a not-yet-existing endpoint - and rebalances overfull nodes with
+//   random walks.
+//
+//   Phase 2 discards the old p-cycle batch by batch. Orphan rescue keeps
+//   the mapping surjective if a node's last holding is dropped.
+//
+// Throughout, every node simulates at most 4*zeta vertices of each cycle
+// (8*zeta total, Lemma 9(a)) and the union structure always contains one
+// complete p-cycle, which lower-bounds the edge expansion and hence keeps
+// the spectral gap constant (Lemma 9(b), via Cheeger both ways).
+//
+// Deviation noted in DESIGN.md: the paper creates intermediate edges for
+// all three slots of a new vertex; we create each undirected new edge
+// exactly once, owned canonically (a vertex owns its successor edge, and
+// the chord is owned by its smaller endpoint). The union structure is
+// sparser during the transition but the complete old (phase 1) or new
+// (phase 2) cycle provides the expansion bound either way, and every
+// final edge is present when the rebuild commits.
+
+type stagDirection int
+
+const (
+	inflateDir stagDirection = iota
+	deflateDir
+)
+
+func (d stagDirection) String() string {
+	if d == deflateDir {
+		return "deflate"
+	}
+	return "inflate"
+}
+
+// pendEdge records an intermediate edge: new vertex src is waiting for
+// new vertex dst, which will be generated when the old vertex keying this
+// entry is processed.
+type pendEdge struct {
+	src, dst Vertex
+}
+
+// stagger holds the in-flight rebuild state.
+type stagger struct {
+	dir  stagDirection
+	inf  pcycle.Inflation
+	def  pcycle.Deflation
+	zNew *pcycle.Cycle
+
+	phase    int // 1 = build new cycle, 2 = discard old cycle
+	frontier Vertex
+	batch    int64 // old vertices processed per step
+
+	processedFlag []bool
+	droppedFlag   []bool
+
+	newSimOf []NodeID // Phi' (-1 = not generated yet)
+	newSim   map[NodeID]map[Vertex]struct{}
+
+	effNew    map[NodeID]int // generated + projected new vertices per node
+	unprocOld map[NodeID]int // old vertices not yet processed per node
+
+	pending map[Vertex][]pendEdge // keyed by the generating old vertex
+
+	contenders []NodeID // deflation: nodes awaiting a new vertex
+}
+
+func (s *stagger) processed(x Vertex) bool { return s.processedFlag[x] }
+func (s *stagger) dropped(x Vertex) bool   { return s.droppedFlag[x] }
+
+// projection returns how many new vertices old vertex x will generate.
+func (s *stagger) projection(x Vertex) int {
+	if s.dir == inflateDir {
+		return s.inf.CloudSize(x)
+	}
+	if s.def.Dominates(x) {
+		return 1
+	}
+	return 0
+}
+
+// ownerOld returns the old vertex that generates new vertex t.
+func (s *stagger) ownerOld(t Vertex) Vertex {
+	if s.dir == inflateDir {
+		return s.inf.OldOwner(t)
+	}
+	return s.def.DominatorOf(t)
+}
+
+func (s *stagger) newCount(u NodeID) int { return len(s.newSim[u]) }
+
+// newVerticesOf lists u's new-cycle vertices in ascending order.
+func (s *stagger) newVerticesOf(u NodeID) []Vertex {
+	out := make([]Vertex, 0, len(s.newSim[u]))
+	for y := range s.newSim[u] {
+		out = append(out, y)
+	}
+	sortVertices(out)
+	return out
+}
+
+func (s *stagger) anyNewVertexOf(u NodeID) (Vertex, bool) {
+	best := Vertex(-1)
+	for y := range s.newSim[u] {
+		if best < 0 || y < best {
+			best = y
+		}
+	}
+	return best, best >= 0
+}
+
+func (s *stagger) lastNewOf(u NodeID) Vertex {
+	best := Vertex(-1)
+	for y := range s.newSim[u] {
+		if y > best {
+			best = y
+		}
+	}
+	if best < 0 {
+		panic("core: node has no new vertex to donate")
+	}
+	return best
+}
+
+// --- starting a staggered rebuild -------------------------------------------
+
+// startStagger initializes the rebuild state (it does not process any
+// batch yet; advanceStagger does one batch per step). Returns false if
+// the virtual graph is too small to deflate.
+func (nw *Network) startStagger(dir stagDirection) bool {
+	pOld := nw.z.P()
+	s := &stagger{
+		dir:       dir,
+		phase:     1,
+		newSim:    make(map[NodeID]map[Vertex]struct{}, nw.Size()),
+		effNew:    make(map[NodeID]int, nw.Size()),
+		unprocOld: make(map[NodeID]int, nw.Size()),
+		pending:   make(map[Vertex][]pendEdge),
+	}
+	var pNew int64
+	switch dir {
+	case inflateDir:
+		inf, err := pcycle.NewInflation(pOld)
+		if err != nil {
+			return false
+		}
+		s.inf = inf
+		pNew = inf.PNew
+	case deflateDir:
+		def, err := pcycle.NewDeflation(pOld)
+		if err != nil {
+			return false // network too small to deflate; loads stay bounded by n
+		}
+		s.def = def
+		pNew = def.PNew
+	}
+	z, err := pcycle.New(pNew)
+	if err != nil {
+		return false
+	}
+	s.zNew = z
+	s.processedFlag = make([]bool, pOld)
+	s.droppedFlag = make([]bool, pOld)
+	s.newSimOf = make([]NodeID, pNew)
+	for i := range s.newSimOf {
+		s.newSimOf[i] = -1
+	}
+	// Each phase spans ~theta*n steps (the paper's schedule), so the
+	// per-step batch is pOld/(theta*n): constant in n, O(1/theta^2) in the
+	// rebuild parameter.
+	steps := int64(nw.cfg.Theta * float64(nw.Size()))
+	if steps < 1 {
+		steps = 1
+	}
+	s.batch = (pOld + steps - 1) / steps
+	for u, set := range nw.sim {
+		s.unprocOld[u] = len(set)
+		proj := 0
+		for x := range set {
+			proj += s.projection(x)
+		}
+		s.effNew[u] = proj
+	}
+	nw.stag = s
+	// Coordinator locally computes the new prime and notifies the first
+	// batch of simulators along virtual shortest paths.
+	nw.step.Messages += nw.routeCharge()
+	nw.step.Rounds += 2
+	return true
+}
+
+// routeCharge is the hop budget for one shortest-path control message on
+// the current virtual graph (2*ecc(0) bounds the diameter).
+func (nw *Network) routeCharge() int { return nw.z.DiameterUpperBound() }
+
+// --- per-step progress -------------------------------------------------------
+
+// advanceStagger performs one step's batch of rebuild work
+// (Algorithms 4.8/4.9 advance "when the adversary triggers the next
+// step").
+func (nw *Network) advanceStagger() {
+	s := nw.stag
+	nw.step.Rounds += nw.routeCharge() + 2 // batch activation + parallel edge setup
+	nw.step.Messages += 2                  // coordinator hand-off bookkeeping
+	if s.phase == 1 {
+		end := s.frontier + s.batch
+		if end > nw.z.P() {
+			end = nw.z.P()
+		}
+		for x := s.frontier; x < end; x++ {
+			nw.processOldVertex(x)
+		}
+		s.frontier = end
+		nw.retryContenders(false)
+		if s.frontier >= nw.z.P() {
+			nw.retryContenders(true)
+			if len(s.pending) != 0 {
+				panic("core: unresolved intermediate edges at end of phase 1")
+			}
+			s.phase = 2
+			s.frontier = 0
+		}
+		return
+	}
+	end := s.frontier + s.batch
+	if end > nw.z.P() {
+		end = nw.z.P()
+	}
+	for x := s.frontier; x < end; x++ {
+		nw.dropOldVertex(x)
+	}
+	s.frontier = end
+	if s.frontier >= nw.z.P() {
+		nw.commitStagger()
+	}
+}
+
+// finishStaggerNow drives the staggered rebuild to completion inside the
+// current step (used when a forced one-step rebuild preempts it).
+func (nw *Network) finishStaggerNow() {
+	for nw.stag != nil {
+		nw.advanceStagger()
+	}
+}
+
+// processOldVertex runs Phase-1 work for one old vertex.
+func (nw *Network) processOldVertex(x Vertex) {
+	s := nw.stag
+	if s.processedFlag[x] {
+		return
+	}
+	u := nw.simOf[x]
+	s.processedFlag[x] = true
+	s.unprocOld[u]--
+
+	if s.dir == inflateDir {
+		cloud := s.inf.Cloud(x)
+		s.effNew[u] -= len(cloud) // projection becomes actual below
+		for _, y := range cloud {
+			s.assignNew(nw, y, u)
+		}
+		nw.resolvePending(x)
+		for _, y := range cloud {
+			nw.createNewEdges(y)
+		}
+		nw.shedNewOverflow(u)
+		return
+	}
+
+	// Deflation: x generates a new vertex only if it dominates its
+	// deflation cloud.
+	y := s.def.NewVertexOf(x)
+	if s.def.DominatorOf(y) == x {
+		s.effNew[u]--
+		s.assignNew(nw, y, u)
+		nw.resolvePending(x)
+		nw.createNewEdges(y)
+	}
+	if s.unprocOld[u] == 0 && s.newCount(u) == 0 {
+		s.contenders = append(s.contenders, u)
+	}
+}
+
+// assignNew places new vertex y at node u (no edges yet).
+func (s *stagger) assignNew(nw *Network, y Vertex, u NodeID) {
+	s.newSimOf[y] = u
+	set := s.newSim[u]
+	if set == nil {
+		set = make(map[Vertex]struct{})
+		s.newSim[u] = set
+	}
+	set[y] = struct{}{}
+	s.effNew[u]++
+	nw.bumpLoad(u, 1)
+}
+
+// resolvePending converts the intermediate edges anchored at old vertex x
+// into their final form. Because clouds are generated at x's simulator,
+// the real endpoints coincide and only the bookkeeping (plus one
+// notification message each) changes.
+func (nw *Network) resolvePending(x Vertex) {
+	s := nw.stag
+	for _, pe := range s.pending[x] {
+		if s.newSimOf[pe.dst] < 0 {
+			panic(fmt.Sprintf("core: pending edge resolved before %d generated", pe.dst))
+		}
+		nw.step.Messages++
+	}
+	delete(s.pending, x)
+}
+
+// createNewEdges adds the canonically-owned new-cycle edges of freshly
+// generated vertex y: its successor edge, and its chord when y is the
+// smaller endpoint (chord self-loops at 0, 1, p-1 belong to y).
+func (nw *Network) createNewEdges(y Vertex) {
+	s := nw.stag
+	owner := s.newSimOf[y]
+	nw.linkNewEdge(y, s.zNew.Succ(y), owner, true)
+	chord := s.zNew.Inv(y)
+	if chord == y {
+		nw.addRealEdge(owner, owner)
+		nw.step.Messages++
+	} else if y < chord {
+		nw.linkNewEdge(y, chord, owner, false)
+	}
+	// The predecessor edge and larger-endpoint chords are created (or
+	// were created as intermediates) by their owners.
+}
+
+// linkNewEdge wires the undirected new edge {y, t}: directly when t is
+// already generated, else as an intermediate edge to the simulator of the
+// old vertex that will generate t.
+func (nw *Network) linkNewEdge(y, t Vertex, owner NodeID, isCycleEdge bool) {
+	s := nw.stag
+	if s.newSimOf[t] >= 0 {
+		nw.addRealEdge(owner, s.newSimOf[t])
+	} else {
+		x := s.ownerOld(t)
+		nw.addRealEdge(owner, nw.simOf[x])
+		s.pending[x] = append(s.pending[x], pendEdge{src: y, dst: t})
+	}
+	if isCycleEdge {
+		nw.step.Messages += 2 // reachable via O(1) old-cycle hops
+	} else {
+		nw.step.Messages += nw.routeCharge() // routed along the old cycle
+	}
+}
+
+// shedNewOverflow rebalances u's new-cycle holdings while its effective
+// new load exceeds 4*zeta (Alg 4.8 line 6): sequential random walks on
+// the live overlay to nodes with effective new load < 4*zeta.
+func (nw *Network) shedNewOverflow(u NodeID) {
+	s := nw.stag
+	zeta4 := 4 * nw.cfg.Zeta
+	for s.effNew[u] > zeta4 && s.newCount(u) > 1 {
+		placed := false
+		for attempt := 0; attempt < nw.cfg.WalkRetryLimit; attempt++ {
+			res := nw.runWalk(u, -1, func(w NodeID) bool {
+				return w != u && s.effNew[w] < zeta4
+			})
+			if res.Hit {
+				s.moveNewVertex(nw, s.lastNewOf(u), res.End)
+				placed = true
+				break
+			}
+			nw.step.WalkRetries++
+		}
+		if !placed {
+			// Tolerated: Lemma 9(a) allows up to 8*zeta during staggering.
+			nw.walkExhaustion++
+			return
+		}
+	}
+}
+
+// retryContenders gives each waiting deflation contender one walk per
+// step; with force set (end of Phase 1) it insists, falling back to a
+// deterministic donor scan.
+func (nw *Network) retryContenders(force bool) {
+	s := nw.stag
+	if len(s.contenders) == 0 {
+		return
+	}
+	var still []NodeID
+	for _, u := range s.contenders {
+		if _, alive := nw.sim[u]; !alive && s.newCount(u) == 0 {
+			continue // node deleted while waiting
+		}
+		if s.newCount(u) > 0 {
+			continue // received a vertex meanwhile
+		}
+		if nw.contendWalk(u, force) {
+			continue
+		}
+		still = append(still, u)
+	}
+	s.contenders = still
+	if force && len(s.contenders) > 0 {
+		panic("core: unresolved contenders at end of phase 1")
+	}
+}
+
+// contendWalk tries to fetch a spare new vertex for u. Donors must keep
+// one vertex (the paper's "taken" reservation), hence newCount >= 2.
+func (nw *Network) contendWalk(u NodeID, force bool) bool {
+	s := nw.stag
+	stop := func(w NodeID) bool { return w != u && s.newCount(w) >= 2 }
+	attempts := 1
+	if force {
+		attempts = nw.cfg.WalkRetryLimit
+	}
+	for i := 0; i < attempts; i++ {
+		res := nw.runWalk(u, -1, stop)
+		if res.Hit {
+			s.moveNewVertex(nw, s.lastNewOf(res.End), u)
+			return true
+		}
+		nw.step.WalkRetries++
+	}
+	if !force {
+		return false
+	}
+	nw.walkExhaustion++
+	for _, w := range nw.real.Nodes() {
+		if w != u && s.newCount(w) >= 2 {
+			s.moveNewVertex(nw, s.lastNewOf(w), u)
+			return true
+		}
+	}
+	return false
+}
+
+// moveNewVertex transfers new-cycle vertex y to node to, moving each of
+// its existing real edges: direct edges where both endpoints are
+// generated, intermediate edges where y is the canonical owner and the
+// target is not yet generated.
+func (s *stagger) moveNewVertex(nw *Network, y Vertex, to NodeID) {
+	from := s.newSimOf[y]
+	if from == to {
+		return
+	}
+	type slotEdge struct {
+		t       Vertex
+		ownedBy bool // canonical owner is y
+	}
+	chord := s.zNew.Inv(y)
+	slots := [3]slotEdge{
+		{s.zNew.Pred(y), false},
+		{s.zNew.Succ(y), true},
+		{chord, y <= chord},
+	}
+	apply := func(at NodeID, add bool) {
+		for _, se := range slots {
+			var other NodeID
+			switch {
+			case se.t == y:
+				other = at // chord self-loop
+			case s.newSimOf[se.t] >= 0:
+				other = s.newSimOf[se.t]
+			case se.ownedBy:
+				other = nw.simOf[s.ownerOld(se.t)] // intermediate edge
+			default:
+				continue // edge not created yet (owner not generated)
+			}
+			if add {
+				nw.addRealEdge(at, other)
+			} else {
+				nw.removeRealEdge(at, other)
+			}
+		}
+	}
+	apply(from, false)
+	delete(s.newSim[from], y)
+	s.effNew[from]--
+	nw.bumpLoad(from, -1)
+	s.newSimOf[y] = to
+	set := s.newSim[to]
+	if set == nil {
+		set = make(map[Vertex]struct{})
+		s.newSim[to] = set
+	}
+	set[y] = struct{}{}
+	s.effNew[to]++
+	nw.bumpLoad(to, 1)
+	apply(to, true)
+}
+
+// dropOldVertex runs Phase-2 work for one old vertex: remove its
+// remaining old edges and release it. If it is its simulator's last
+// holding, the orphan rescue first fetches a new-cycle vertex so the
+// mapping stays surjective.
+func (nw *Network) dropOldVertex(x Vertex) {
+	s := nw.stag
+	if s.droppedFlag[x] {
+		return
+	}
+	u := nw.simOf[x]
+	if nw.load[u] == 1 {
+		nw.orphanRescue(u)
+	}
+	s.droppedFlag[x] = true
+	for _, t := range nw.z.NeighborSlots(x) {
+		if t == x {
+			nw.removeRealEdge(u, u)
+		} else if !s.droppedFlag[t] {
+			nw.removeRealEdge(u, nw.simOf[t])
+		}
+	}
+	delete(nw.sim[u], x)
+	nw.bumpLoad(u, -1)
+}
+
+// orphanRescue fetches a spare new-cycle vertex for a node about to lose
+// its last holding. It runs while the node is still connected.
+func (nw *Network) orphanRescue(u NodeID) {
+	nw.orphanRescues++
+	if !nw.contendWalk(u, true) {
+		panic("core: orphan rescue found no donor")
+	}
+}
+
+// commitStagger finalizes the rebuild: the new cycle becomes current.
+func (nw *Network) commitStagger() {
+	s := nw.stag
+	for u := range nw.sim {
+		if len(nw.sim[u]) != 0 {
+			panic(fmt.Sprintf("core: node %d still holds old vertices at commit", u))
+		}
+		if s.newCount(u) == 0 {
+			panic(fmt.Sprintf("core: node %d has no new vertices at commit", u))
+		}
+	}
+	nw.z = s.zNew
+	nw.simOf = s.newSimOf
+	newSim := make(map[NodeID]map[Vertex]struct{}, len(nw.sim))
+	for u := range nw.sim {
+		newSim[u] = s.newSim[u]
+	}
+	nw.sim = newSim
+	nw.refreshDist0()
+	nw.stag = nil
+	nw.step.StaggerFinished = true
+	if nw.rebuildObserver != nil {
+		nw.rebuildObserver(nw.z.P())
+	}
+}
+
+// --- type-1 predicates and donations while staggering ------------------------
+
+// insertStop is the donor predicate for insertions during a rebuild.
+func (s *stagger) insertStop(nw *Network, id NodeID) func(NodeID) bool {
+	return func(w NodeID) bool {
+		if w == id {
+			return false
+		}
+		if s.phase == 2 {
+			return s.newCount(w) >= 2
+		}
+		if s.newCount(w) >= 2 {
+			return true
+		}
+		return nw.load[w] >= 2 && s.unprocOld[w] >= 1
+	}
+}
+
+// donate transfers one vertex from donor to the freshly inserted id,
+// preferring newly generated vertices (Section 4.4.1: "we can simply
+// assign one of the newly inflated vertices").
+func (s *stagger) donate(nw *Network, donor, id NodeID) {
+	if s.newCount(donor) >= 2 {
+		s.moveNewVertex(nw, s.lastNewOf(donor), id)
+		return
+	}
+	// Unprocessed old vertex: the recipient will generate its cloud when
+	// the frontier reaches it.
+	var best Vertex = -1
+	for x := range nw.sim[donor] {
+		if !s.processedFlag[x] && x > best {
+			best = x
+		}
+	}
+	if best < 0 {
+		panic("core: staggered donor has nothing to give")
+	}
+	nw.moveVertex(best, id)
+}
+
+// DebugString summarizes the rebuild state (tests/examples).
+func (s *stagger) DebugString() string {
+	return fmt.Sprintf("%s phase=%d frontier=%d/%d pNew=%d pending=%d contenders=%d",
+		s.dir, s.phase, s.frontier, len(s.processedFlag), s.zNew.P(), len(s.pending), len(s.contenders))
+}
+
+// RebuildDebug exposes the in-flight rebuild state description, or "".
+func (nw *Network) RebuildDebug() string {
+	if nw.stag == nil {
+		return ""
+	}
+	return nw.stag.DebugString()
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+// driveToStagger churns insert-only until a staggered rebuild starts,
+// returning the step at which it began.
+func driveToStagger(t *testing.T, nw *Network, maxSteps int) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < maxSteps; i++ {
+		nodes := nw.Nodes()
+		if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+		if active, _ := nw.Rebuilding(); active {
+			return i
+		}
+	}
+	t.Fatalf("no staggered rebuild within %d inserts", maxSteps)
+	return -1
+}
+
+func TestStaggeredInflationLifecycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = Staggered
+	nw := mustNew(t, 32, cfg)
+	pOld := nw.P()
+	driveToStagger(t, nw, 4000)
+
+	// Phase 1: invariants hold at every step; the union structure keeps a
+	// constant gap (Lemma 9(b)).
+	rng := rand.New(rand.NewSource(5))
+	sawPhase2 := false
+	steps := 0
+	for {
+		active, phase := nw.Rebuilding()
+		if !active {
+			break
+		}
+		if phase == 2 {
+			sawPhase2 = true
+		}
+		nodes := nw.Nodes()
+		var err error
+		if rng.Float64() < 0.5 || nw.Size() <= 6 {
+			err = nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))])
+		} else {
+			err = nw.Delete(nodes[rng.Intn(len(nodes))])
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("mid-rebuild (%s): %v", nw.RebuildDebug(), err)
+		}
+		if gap := spectral.Gap(nw.Graph()); gap < 0.005 {
+			t.Fatalf("gap collapsed mid-rebuild: %v (%s)", gap, nw.RebuildDebug())
+		}
+		steps++
+		if steps > 100000 {
+			t.Fatal("rebuild never completed")
+		}
+	}
+	if !sawPhase2 {
+		t.Fatal("phase 2 never observed")
+	}
+	if nw.P() <= pOld {
+		t.Fatalf("p did not grow: %d -> %d", pOld, nw.P())
+	}
+	// After commit, the steady-state bound applies again.
+	if nw.MaxLoad() > 4*cfg.Zeta {
+		t.Fatalf("post-commit max load %d > 4*zeta", nw.MaxLoad())
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The commit step is flagged exactly once in the history.
+	finishes := 0
+	for _, m := range nw.History() {
+		if m.StaggerFinished {
+			finishes++
+		}
+	}
+	if finishes != 1 {
+		t.Fatalf("StaggerFinished flagged %d times", finishes)
+	}
+}
+
+func TestStaggeredRebuildWorstStepEnvelope(t *testing.T) {
+	// Theorem 1's point: even the steps that advance a rebuild stay
+	// within an O(log n)-ish round/message envelope and never do O(n)
+	// topology work in one step.
+	cfg := DefaultConfig()
+	cfg.Mode = Staggered
+	nw := mustNew(t, 64, cfg)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		nodes := nw.Nodes()
+		if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := float64(nw.Size())
+	for _, m := range nw.History() {
+		if m.Rounds > 60*int(logish(n)) {
+			t.Fatalf("step %d: %d rounds breaks the envelope (n=%d)", m.Step, m.Rounds, m.N)
+		}
+		if float64(m.TopologyChanges) > n/2 {
+			t.Fatalf("step %d: %d topology changes ~ O(n)", m.Step, m.TopologyChanges)
+		}
+	}
+}
+
+func logish(n float64) float64 {
+	l := 1.0
+	for v := n; v > 1; v /= 2 {
+		l++
+	}
+	return l
+}
+
+func TestDeletionDuringStaggeredRebuild(t *testing.T) {
+	// Failure injection: delete heavily while a rebuild is mid-flight,
+	// including the coordinator.
+	cfg := DefaultConfig()
+	nw := mustNew(t, 32, cfg)
+	driveToStagger(t, nw, 4000)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 60; i++ {
+		active, _ := nw.Rebuilding()
+		if !active {
+			break
+		}
+		var victim NodeID
+		if i%3 == 0 {
+			victim = nw.Coordinator()
+		} else {
+			nodes := nw.Nodes()
+			victim = nodes[rng.Intn(len(nodes))]
+		}
+		if err := nw.Delete(victim); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("step %d (%s): %v", i, nw.RebuildDebug(), err)
+		}
+	}
+}
+
+func TestFinishStaggerNowViaForcedRebuild(t *testing.T) {
+	// A batch operation in simplified style can preempt a staggered
+	// rebuild; finishStaggerNow must complete it coherently first.
+	cfg := DefaultConfig()
+	nw := mustNew(t, 32, cfg)
+	driveToStagger(t, nw, 4000)
+	if active, _ := nw.Rebuilding(); !active {
+		t.Fatal("not rebuilding")
+	}
+	nw.finishStaggerNow()
+	if active, _ := nw.Rebuilding(); active {
+		t.Fatal("rebuild still active")
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaggerStateAccessors(t *testing.T) {
+	nw := mustNew(t, 32, DefaultConfig())
+	if s := nw.RebuildDebug(); s != "" {
+		t.Fatalf("idle RebuildDebug = %q", s)
+	}
+	driveToStagger(t, nw, 4000)
+	if s := nw.RebuildDebug(); s == "" {
+		t.Fatal("active RebuildDebug empty")
+	}
+	if active, phase := nw.Rebuilding(); !active || phase == 0 {
+		t.Fatalf("Rebuilding() = %v, %d", active, phase)
+	}
+}

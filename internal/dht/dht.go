@@ -1,0 +1,161 @@
+// Package dht implements the distributed hash table of Section 4.4.4 on
+// top of a DEX-maintained overlay.
+//
+// Every node knows the current p-cycle modulus s, so all nodes share the
+// hash function h_s mapping keys uniformly onto the virtual vertex set.
+// A key k lives at the node simulating vertex h_s(k); insert and lookup
+// route O(log n)-bit messages along virtual shortest paths, which every
+// node can compute locally (Fact 1 maps them to real paths).
+//
+// The router charges hops along the coordinator's BFS tree (up from the
+// origin vertex to vertex 0, down to the target), a compact-routing
+// scheme at most 2x the true shortest path and still O(log n); the DHT
+// experiment verifies the logarithmic shape.
+//
+// Data follows the mapping: when DEX transfers a virtual vertex between
+// nodes, that vertex's items move with it (one message per item), and
+// when the virtual graph is replaced by inflation or deflation every item
+// re-homes under the new hash function - the paper piggybacks this on the
+// staggered rebuild at constant overhead, and the migration counters here
+// expose exactly that cost.
+package dht
+
+import (
+	"hash/fnv"
+
+	"repro/internal/core"
+)
+
+// Stats reports the cost of one DHT operation in the paper's measures.
+type Stats struct {
+	Rounds   int
+	Messages int
+}
+
+// DHT is a key/value store layered over a DEX network.
+type DHT struct {
+	nw *core.Network
+
+	items       map[string]string
+	vertexItems map[core.Vertex]int // #items homed at each virtual vertex
+	p           int64
+
+	// MigrationMessages accumulates item-movement costs caused by vertex
+	// transfers and virtual-graph rebuilds.
+	MigrationMessages int
+	// Rehashes counts virtual-graph replacements observed.
+	Rehashes int
+}
+
+// New attaches a DHT to the network. Only one DHT should observe a given
+// network (it registers the transfer/rebuild observers).
+func New(nw *core.Network) *DHT {
+	d := &DHT{
+		nw:          nw,
+		items:       make(map[string]string),
+		vertexItems: make(map[core.Vertex]int),
+		p:           nw.P(),
+	}
+	nw.SetTransferObserver(func(x core.Vertex, from, to core.NodeID) {
+		if n := d.vertexItems[x]; n > 0 {
+			// The vertex's items ride along the transfer: one message
+			// each over the freshly established edge.
+			d.MigrationMessages += n
+		}
+	})
+	nw.SetRebuildObserver(func(pNew int64) {
+		d.rehash(pNew)
+	})
+	return d
+}
+
+// hash maps a key to a virtual vertex under the current modulus.
+func (d *DHT) hash(key string) core.Vertex {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return core.Vertex(h.Sum64() % uint64(d.p))
+}
+
+// rehash re-homes every item under the new modulus, charging one routed
+// message per item (the per-step constant-factor overhead of the paper's
+// staggered hand-off, aggregated).
+func (d *DHT) rehash(pNew int64) {
+	d.Rehashes++
+	d.p = pNew
+	d.vertexItems = make(map[core.Vertex]int, len(d.vertexItems))
+	for k := range d.items {
+		d.vertexItems[d.hash(k)]++
+		d.MigrationMessages++
+	}
+}
+
+// routeHops returns the hop count of the tree route from vertex x to
+// vertex z (up to vertex 0, down to z).
+func (d *DHT) routeHops(x, z core.Vertex) int {
+	return d.nw.Dist0(x) + d.nw.Dist0(z)
+}
+
+// originVertex picks the virtual vertex of the requesting node.
+func (d *DHT) originVertex(origin core.NodeID) core.Vertex {
+	x, ok := d.nw.SomeVertexOf(origin)
+	if !ok {
+		return 0
+	}
+	return x
+}
+
+// Put stores (key, value), initiated by node origin, and returns the
+// operation cost.
+func (d *DHT) Put(origin core.NodeID, key, value string) Stats {
+	z := d.hash(key)
+	hops := d.routeHops(d.originVertex(origin), z)
+	if _, existed := d.items[key]; !existed {
+		d.vertexItems[z]++
+	}
+	d.items[key] = value
+	return Stats{Rounds: hops, Messages: hops}
+}
+
+// Get looks up key from node origin; found is false for absent keys. The
+// cost covers the request route and the response route back.
+func (d *DHT) Get(origin core.NodeID, key string) (value string, found bool, s Stats) {
+	z := d.hash(key)
+	hops := d.routeHops(d.originVertex(origin), z)
+	value, found = d.items[key]
+	return value, found, Stats{Rounds: 2 * hops, Messages: 2 * hops}
+}
+
+// Delete removes key, returning whether it existed and the cost.
+func (d *DHT) Delete(origin core.NodeID, key string) (bool, Stats) {
+	z := d.hash(key)
+	hops := d.routeHops(d.originVertex(origin), z)
+	_, existed := d.items[key]
+	if existed {
+		delete(d.items, key)
+		if d.vertexItems[z] > 0 {
+			d.vertexItems[z]--
+		}
+	}
+	return existed, Stats{Rounds: hops, Messages: hops}
+}
+
+// Len returns the number of stored items.
+func (d *DHT) Len() int { return len(d.items) }
+
+// Owner returns the node currently responsible for key.
+func (d *DHT) Owner(key string) core.NodeID { return d.nw.OwnerOf(d.hash(key)) }
+
+// ItemsPerNode returns the storage load distribution over real nodes,
+// the balance claim of Section 4.4.4.
+func (d *DHT) ItemsPerNode() map[core.NodeID]int {
+	out := make(map[core.NodeID]int)
+	for _, u := range d.nw.Nodes() {
+		out[u] = 0
+	}
+	for x, n := range d.vertexItems {
+		if n > 0 && x < d.nw.P() {
+			out[d.nw.OwnerOf(x)] += n
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the rebuild
+// parameter theta (staggering batch size vs load slack), the walk-length
+// factor c (type-1 success probability vs per-step cost), and the
+// headline staggered-vs-simplified type-2 choice (worst-step envelope vs
+// amortized cost).
+
+// AblationRow is one configuration's measurements.
+type AblationRow struct {
+	Config      string
+	RoundsMean  float64
+	RoundsMax   float64
+	MsgsMean    float64
+	TopoMax     float64
+	MaxLoad     int
+	WalkRetries int
+}
+
+func runAblation(cfg core.Config, n0, steps int, pInsert float64, seed int64) AblationRow {
+	nw, err := core.New(n0, cfg)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	maxLoad := 0
+	retries := 0
+	var rounds, msgs []float64
+	topoMax := 0.0
+	for i := 0; i < steps; i++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < pInsert || nw.Size() <= 6 {
+			err = nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))])
+		} else {
+			err = nw.Delete(nodes[rng.Intn(len(nodes))])
+		}
+		if err != nil {
+			panic(err)
+		}
+		st := nw.LastStep()
+		rounds = append(rounds, float64(st.Rounds))
+		msgs = append(msgs, float64(st.Messages))
+		if float64(st.TopologyChanges) > topoMax {
+			topoMax = float64(st.TopologyChanges)
+		}
+		retries += st.WalkRetries
+		if l := nw.MaxLoad(); l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("ablation %+v: %v", cfg, err))
+	}
+	r := stats.Summarize(rounds)
+	m := stats.Summarize(msgs)
+	return AblationRow{
+		RoundsMean: r.Mean, RoundsMax: r.Max, MsgsMean: m.Mean,
+		TopoMax: topoMax, MaxLoad: maxLoad, WalkRetries: retries,
+	}
+}
+
+// AblateTheta sweeps the rebuild parameter.
+func AblateTheta(w io.Writer, n0, steps int, seed int64) []AblationRow {
+	var rows []AblationRow
+	tb := &stats.Table{Header: []string{"theta", "rounds-mean", "rounds-max", "msgs-mean", "topo-max", "max-load", "retries"}}
+	for _, theta := range []float64{1.0 / 16, 1.0 / 64, 1.0 / 256} {
+		cfg := core.DefaultConfig()
+		cfg.Theta = theta
+		cfg.Seed = seed
+		row := runAblation(cfg, n0, steps, 0.7, seed)
+		row.Config = fmt.Sprintf("1/%d", int(1/theta))
+		rows = append(rows, row)
+		tb.AddF(row.Config, row.RoundsMean, row.RoundsMax, row.MsgsMean, row.TopoMax, row.MaxLoad, row.WalkRetries)
+	}
+	fmt.Fprintf(w, "AB-THETA: rebuild parameter sweep (n0=%d, %d steps, insert-heavy)\n%s\n", n0, steps, tb)
+	return rows
+}
+
+// AblateWalkFactor sweeps the walk-length constant c.
+func AblateWalkFactor(w io.Writer, n0, steps int, seed int64) []AblationRow {
+	var rows []AblationRow
+	tb := &stats.Table{Header: []string{"walk-factor", "rounds-mean", "msgs-mean", "retries", "max-load"}}
+	for _, c := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultConfig()
+		cfg.WalkFactor = c
+		cfg.Seed = seed
+		row := runAblation(cfg, n0, steps, 0.5, seed)
+		row.Config = fmt.Sprintf("c=%d", c)
+		rows = append(rows, row)
+		tb.AddF(row.Config, row.RoundsMean, row.MsgsMean, row.WalkRetries, row.MaxLoad)
+	}
+	fmt.Fprintf(w, "AB-WALK: walk-length factor sweep (n0=%d, %d steps)\n%s\n", n0, steps, tb)
+	return rows
+}
+
+// AblateMode contrasts the worst-step envelope of staggered vs
+// simplified type-2 recovery - the paper's central Section 4.4 design
+// choice.
+func AblateMode(w io.Writer, n0, steps int, seed int64) (staggered, simplified AblationRow) {
+	cfgStag := core.DefaultConfig()
+	cfgStag.Seed = seed
+	staggered = runAblation(cfgStag, n0, steps, 0.8, seed)
+	staggered.Config = "staggered"
+	cfgSimp := core.DefaultConfig()
+	cfgSimp.Mode = core.Simplified
+	cfgSimp.Seed = seed
+	simplified = runAblation(cfgSimp, n0, steps, 0.8, seed)
+	simplified.Config = "simplified"
+	tb := &stats.Table{Header: []string{"mode", "rounds-mean", "rounds-max", "msgs-mean", "topo-max", "max-load"}}
+	for _, r := range []AblationRow{staggered, simplified} {
+		tb.AddF(r.Config, r.RoundsMean, r.RoundsMax, r.MsgsMean, r.TopoMax, r.MaxLoad)
+	}
+	fmt.Fprintf(w, "AB-MODE: staggered vs simplified type-2 (n0=%d, %d steps, insert-heavy)\n%s", n0, steps, tb)
+	fmt.Fprintf(w, "expected shape: simplified shows Theta(n) worst-step spikes; staggered keeps the worst step small\n\n")
+	return staggered, simplified
+}
+
+// --- failure-injection experiment: coordinator assassination -----------------
+
+// CoordinatorAttack measures DEX under repeated coordinator deletion.
+func CoordinatorAttack(w io.Writer, n0, steps int, seed int64) AblationRow {
+	nw, err := core.New(n0, core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	m := harness.DexMaintainer{Network: nw}
+	recs, err := harness.Run(m, harness.CoordinatorKiller{}, harness.RunConfig{
+		Steps: steps, Seed: seed, AuditDex: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rounds, msgs, topo, _, _ := harness.Summaries(recs)
+	row := AblationRow{Config: "coordinator-killer", RoundsMean: rounds.Mean,
+		RoundsMax: rounds.Max, MsgsMean: msgs.Mean, TopoMax: topo.Max, MaxLoad: nw.MaxLoad()}
+	fmt.Fprintf(w, "FAIL-COORD: coordinator assassinated every step (%d steps): rounds mean %.1f max %.0f, msgs mean %.1f, invariants audited each step\n\n",
+		steps, row.RoundsMean, row.RoundsMax, row.MsgsMean)
+	return row
+}

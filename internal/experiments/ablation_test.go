@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestAblateThetaLoadsBounded(t *testing.T) {
+	rows := AblateTheta(io.Discard, 48, 400, 1)
+	if len(rows) != 3 {
+		t.Fatal("missing rows")
+	}
+	for _, r := range rows {
+		// 8*zeta = 64 is the hard bound in any configuration.
+		if r.MaxLoad > 64 {
+			t.Fatalf("theta=%s: max load %d exceeds 8*zeta", r.Config, r.MaxLoad)
+		}
+	}
+}
+
+func TestAblateWalkFactorRetriesDrop(t *testing.T) {
+	rows := AblateWalkFactor(io.Discard, 48, 300, 2)
+	// Longer walks should not need more retries than the shortest ones.
+	if rows[3].WalkRetries > rows[0].WalkRetries+5 {
+		t.Fatalf("retries did not improve with walk length: %+v", rows)
+	}
+}
+
+func TestAblateModeWorstStep(t *testing.T) {
+	stag, simp := AblateMode(io.Discard, 48, 500, 3)
+	// The design claim: simplified mode has far larger worst-step rounds
+	// (its type-2 spikes), while staggered keeps the envelope tight.
+	if simp.RoundsMax < 2*stag.RoundsMax {
+		t.Logf("note: spike contrast weak this run: staggered max %v vs simplified max %v",
+			stag.RoundsMax, simp.RoundsMax)
+	}
+	if stag.MaxLoad > 64 || simp.MaxLoad > 32 {
+		t.Fatalf("load bounds broken: %+v %+v", stag, simp)
+	}
+}
+
+func TestCoordinatorAttackSurvives(t *testing.T) {
+	row := CoordinatorAttack(io.Discard, 32, 80, 4)
+	if row.RoundsMean <= 0 {
+		t.Fatal("no costs recorded")
+	}
+}

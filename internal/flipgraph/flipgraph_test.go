@@ -1,0 +1,80 @@
+package flipgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 4, 1); err == nil {
+		t.Fatal("accepted n0=2")
+	}
+	if _, err := New(16, 3, 1); err == nil {
+		t.Fatal("accepted odd d")
+	}
+}
+
+func TestInitialRegular(t *testing.T) {
+	nw, err := New(64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range nw.Nodes() {
+		if d := nw.Graph().Degree(u); d != 4 {
+			t.Fatalf("degree(%d) = %d", u, d)
+		}
+	}
+	if gap := spectral.Gap(nw.Graph()); gap < 0.03 {
+		t.Fatalf("gap = %v", gap)
+	}
+}
+
+func TestChurnNearRegular(t *testing.T) {
+	nw, err := New(32, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < 0.5 || nw.Size() <= 6 {
+			if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := nw.Delete(nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	// Total degree stays ~ d*n (each op preserves the edge budget up to
+	// the odd-endpoint correction).
+	sum := 0
+	for _, u := range nw.Nodes() {
+		sum += nw.Graph().Degree(u)
+	}
+	if avg := float64(sum) / float64(nw.Size()); avg < 4 || avg > 8 {
+		t.Fatalf("average degree %v drifted from d=6", avg)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	nw, _ := New(16, 4, 1)
+	if err := nw.Insert(0, 1); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := nw.Insert(nw.FreshID(), 999); err == nil {
+		t.Fatal("unknown introducer accepted")
+	}
+	if err := nw.Delete(999); err == nil {
+		t.Fatal("unknown delete accepted")
+	}
+}

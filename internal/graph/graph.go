@@ -1,0 +1,447 @@
+// Package graph provides the undirected-multigraph substrate shared by the
+// virtual p-cycle, the real overlay network, and every baseline topology in
+// this repository.
+//
+// Graphs are multigraphs: parallel edges and self-loops are first-class,
+// because the DEX real network is a vertex contraction of a 3-regular
+// virtual expander and contraction creates exactly those (Section 3.1 of
+// the paper). Degrees count edge multiplicity, with a self-loop
+// contributing 1, so the random-walk transition matrix D^{-1}A is
+// stochastic with the same convention used throughout the spectral
+// toolkit.
+//
+// All iteration orders are deterministic (sorted by node ID) so that
+// seeded experiments are exactly reproducible.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. The zero value is a valid ID.
+type NodeID int64
+
+// Graph is a mutable undirected multigraph.
+type Graph struct {
+	adj   map[NodeID]map[NodeID]int // adjacency with edge multiplicities
+	edges int                       // number of edges (loops count once)
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[NodeID]map[NodeID]int)}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.edges = g.edges
+	for u, nbrs := range g.adj {
+		m := make(map[NodeID]int, len(nbrs))
+		for v, k := range nbrs {
+			m[v] = k
+		}
+		c.adj[u] = m
+	}
+	return c
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of edges counting multiplicity; a self-loop
+// counts as one edge.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// HasNode reports whether u exists.
+func (g *Graph) HasNode(u NodeID) bool {
+	_, ok := g.adj[u]
+	return ok
+}
+
+// AddNode inserts u as an isolated node if not present.
+func (g *Graph) AddNode(u NodeID) {
+	if _, ok := g.adj[u]; !ok {
+		g.adj[u] = make(map[NodeID]int)
+	}
+}
+
+// RemoveNode deletes u and all incident edges. It is a no-op if u is absent.
+func (g *Graph) RemoveNode(u NodeID) {
+	nbrs, ok := g.adj[u]
+	if !ok {
+		return
+	}
+	for v, k := range nbrs {
+		if v == u {
+			g.edges -= k
+			continue
+		}
+		g.edges -= k
+		delete(g.adj[v], u)
+	}
+	delete(g.adj, u)
+}
+
+// AddEdge adds one undirected edge {u,v}, creating the endpoints if needed.
+// Adding an existing edge increases its multiplicity.
+func (g *Graph) AddEdge(u, v NodeID) {
+	g.AddNode(u)
+	g.AddNode(v)
+	g.adj[u][v]++
+	if u != v {
+		g.adj[v][u]++
+	}
+	g.edges++
+}
+
+// RemoveEdge removes one multiplicity of edge {u,v}. It reports whether an
+// edge was removed.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	nbrs, ok := g.adj[u]
+	if !ok {
+		return false
+	}
+	k, ok := nbrs[v]
+	if !ok || k == 0 {
+		return false
+	}
+	if k == 1 {
+		delete(nbrs, v)
+	} else {
+		nbrs[v] = k - 1
+	}
+	if u != v {
+		if k2 := g.adj[v][u]; k2 == 1 {
+			delete(g.adj[v], u)
+		} else {
+			g.adj[v][u] = k2 - 1
+		}
+	}
+	g.edges--
+	return true
+}
+
+// Multiplicity returns the number of parallel {u,v} edges.
+func (g *Graph) Multiplicity(u, v NodeID) int {
+	if nbrs, ok := g.adj[u]; ok {
+		return nbrs[v]
+	}
+	return 0
+}
+
+// HasEdge reports whether at least one {u,v} edge exists.
+func (g *Graph) HasEdge(u, v NodeID) bool { return g.Multiplicity(u, v) > 0 }
+
+// Degree returns the multigraph degree of u: the sum of incident edge
+// multiplicities, a self-loop counting 1. Returns 0 for absent nodes.
+func (g *Graph) Degree(u NodeID) int {
+	d := 0
+	for _, k := range g.adj[u] {
+		d += k
+	}
+	return d
+}
+
+// DistinctDegree returns the number of distinct neighbors of u (excluding
+// u itself). This is the number of actual network connections a node
+// maintains, the quantity bounded by Theorem 1.
+func (g *Graph) DistinctDegree(u NodeID) int {
+	d := 0
+	for v := range g.adj[u] {
+		if v != u {
+			d++
+		}
+	}
+	return d
+}
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.adj))
+	for u := range g.adj {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighbors returns the distinct neighbors of u in ascending order,
+// including u itself when u has a self-loop.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	nbrs := g.adj[u]
+	out := make([]NodeID, 0, len(nbrs))
+	for v := range nbrs {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WeightedNeighbors returns the distinct neighbors of u in ascending order
+// together with the multiplicity of each connecting edge. Random walks use
+// this to step proportionally to multiplicity, matching the stationary
+// distribution pi(x) = d_x / 2|E| in the proof of Lemma 2.
+func (g *Graph) WeightedNeighbors(u NodeID) (nbrs []NodeID, mult []int) {
+	ns := g.Neighbors(u)
+	ms := make([]int, len(ns))
+	for i, v := range ns {
+		ms[i] = g.adj[u][v]
+	}
+	return ns, ms
+}
+
+// Edge is an undirected edge with multiplicity.
+type Edge struct {
+	U, V NodeID // U <= V
+	Mult int
+}
+
+// Edges returns all distinct edges in deterministic order.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, u := range g.Nodes() {
+		for v, k := range g.adj[u] {
+			if v < u {
+				continue
+			}
+			out = append(out, Edge{U: u, V: v, Mult: k})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// MaxDegree returns the maximum multigraph degree, or 0 for empty graphs.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for u := range g.adj {
+		if d := g.Degree(u); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MaxDistinctDegree returns the maximum distinct-neighbor degree.
+func (g *Graph) MaxDistinctDegree() int {
+	m := 0
+	for u := range g.adj {
+		if d := g.DistinctDegree(u); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// BFSDistances returns a map of shortest-path hop distances from src.
+// Nodes unreachable from src are absent from the map.
+func (g *Graph) BFSDistances(src NodeID) map[NodeID]int {
+	if !g.HasNode(src) {
+		return nil
+	}
+	dist := map[NodeID]int{src: 0}
+	frontier := []NodeID{src}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, u := range frontier {
+			for v := range g.adj[u] {
+				if _, seen := dist[v]; !seen {
+					dist[v] = dist[u] + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// ShortestPath returns a shortest path from src to dst (inclusive), or nil
+// if unreachable. Ties break deterministically toward smaller IDs.
+func (g *Graph) ShortestPath(src, dst NodeID) []NodeID {
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return nil
+	}
+	if src == dst {
+		return []NodeID{src}
+	}
+	parent := map[NodeID]NodeID{src: src}
+	frontier := []NodeID{src}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if _, seen := parent[v]; seen {
+					continue
+				}
+				parent[v] = u
+				if v == dst {
+					var path []NodeID
+					for w := dst; ; w = parent[w] {
+						path = append(path, w)
+						if w == src {
+							break
+						}
+					}
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return path
+				}
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// Connected reports whether the graph is connected (empty and single-node
+// graphs count as connected).
+func (g *Graph) Connected() bool {
+	if len(g.adj) <= 1 {
+		return true
+	}
+	var src NodeID
+	for u := range g.adj {
+		src = u
+		break
+	}
+	return len(g.BFSDistances(src)) == len(g.adj)
+}
+
+// Diameter returns the exact hop diameter via all-sources BFS, or -1 if
+// the graph is disconnected or empty.
+func (g *Graph) Diameter() int {
+	if len(g.adj) == 0 {
+		return -1
+	}
+	diam := 0
+	for u := range g.adj {
+		dist := g.BFSDistances(u)
+		if len(dist) != len(g.adj) {
+			return -1
+		}
+		for _, d := range dist {
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Eccentricity returns the maximum BFS distance from src, or -1 if some
+// node is unreachable.
+func (g *Graph) Eccentricity(src NodeID) int {
+	dist := g.BFSDistances(src)
+	if len(dist) != len(g.adj) {
+		return -1
+	}
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Quotient builds the contraction of g under the supplied mapping: each
+// node u maps to group phi(u); every edge {u,v} becomes {phi(u),phi(v)}
+// with multiplicities accumulated, including resulting self-loops. This is
+// exactly the vertex-contraction operation of Lemma 10 (spectral gap can
+// only grow), used to derive the real network from the virtual graph.
+func (g *Graph) Quotient(phi func(NodeID) NodeID) *Graph {
+	q := New()
+	for u := range g.adj {
+		q.AddNode(phi(u))
+	}
+	for _, e := range g.Edges() {
+		pu, pv := phi(e.U), phi(e.V)
+		for i := 0; i < e.Mult; i++ {
+			q.AddEdge(pu, pv)
+		}
+	}
+	return q
+}
+
+// CSR is a compressed sparse row snapshot of a graph for numeric kernels.
+// Index i corresponds to IDs[i]; Adj[RowPtr[i]:RowPtr[i+1]] lists neighbor
+// indices with per-entry weights Wt (edge multiplicities; self-loops once).
+type CSR struct {
+	IDs    []NodeID
+	Index  map[NodeID]int
+	RowPtr []int32
+	Adj    []int32
+	Wt     []float64
+	Deg    []float64 // multigraph degrees
+}
+
+// ToCSR snapshots the graph. Ordering is deterministic.
+func (g *Graph) ToCSR() *CSR {
+	ids := g.Nodes()
+	idx := make(map[NodeID]int, len(ids))
+	for i, u := range ids {
+		idx[u] = i
+	}
+	c := &CSR{
+		IDs:    ids,
+		Index:  idx,
+		RowPtr: make([]int32, len(ids)+1),
+		Deg:    make([]float64, len(ids)),
+	}
+	nnz := 0
+	for _, u := range ids {
+		nnz += len(g.adj[u])
+	}
+	c.Adj = make([]int32, 0, nnz)
+	c.Wt = make([]float64, 0, nnz)
+	for i, u := range ids {
+		for _, v := range g.Neighbors(u) {
+			c.Adj = append(c.Adj, int32(idx[v]))
+			m := float64(g.adj[u][v])
+			c.Wt = append(c.Wt, m)
+			c.Deg[i] += m
+		}
+		c.RowPtr[i+1] = int32(len(c.Adj))
+	}
+	return c
+}
+
+// Validate checks internal adjacency symmetry and edge accounting, for use
+// in tests and the DEX invariant checker. It returns an error describing
+// the first inconsistency found.
+func (g *Graph) Validate() error {
+	total := 0
+	for u, nbrs := range g.adj {
+		for v, k := range nbrs {
+			if k <= 0 {
+				return fmt.Errorf("graph: nonpositive multiplicity %d on {%d,%d}", k, u, v)
+			}
+			if v == u {
+				total += 2 * k // count loops once overall
+				continue
+			}
+			back, ok := g.adj[v]
+			if !ok {
+				return fmt.Errorf("graph: dangling neighbor %d of %d", v, u)
+			}
+			if back[u] != k {
+				return fmt.Errorf("graph: asymmetric multiplicity {%d,%d}: %d vs %d", u, v, k, back[u])
+			}
+			total += k
+		}
+	}
+	if total != 2*g.edges {
+		return fmt.Errorf("graph: edge count mismatch: handshake sum %d, 2*edges %d", total, 2*g.edges)
+	}
+	return nil
+}

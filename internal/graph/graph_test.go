@@ -1,0 +1,302 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func path(n int) *Graph {
+	g := New()
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return g
+}
+
+func cycle(n int) *Graph {
+	g := path(n)
+	g.AddEdge(NodeID(n-1), 0)
+	return g
+}
+
+func TestBasicOps(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 2) // parallel
+	g.AddEdge(3, 3) // loop
+
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Multiplicity(1, 2) != 2 || g.Multiplicity(2, 1) != 2 {
+		t.Fatal("parallel edge multiplicity wrong")
+	}
+	if g.Degree(1) != 2 || g.Degree(2) != 3 || g.Degree(3) != 2 {
+		t.Fatalf("degrees: %d %d %d", g.Degree(1), g.Degree(2), g.Degree(3))
+	}
+	if g.DistinctDegree(3) != 1 {
+		t.Fatalf("DistinctDegree(3) = %d", g.DistinctDegree(3))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveEdgeMultiplicity(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2)
+	if !g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge failed")
+	}
+	if g.Multiplicity(1, 2) != 1 || g.NumEdges() != 1 {
+		t.Fatal("multiplicity not decremented")
+	}
+	if !g.RemoveEdge(2, 1) {
+		t.Fatal("RemoveEdge from other side failed")
+	}
+	if g.HasEdge(1, 2) || g.NumEdges() != 0 {
+		t.Fatal("edge not fully removed")
+	}
+	if g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge of absent edge returned true")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := cycle(5)
+	g.AddEdge(2, 2)
+	g.RemoveNode(2)
+	if g.HasNode(2) {
+		t.Fatal("node still present")
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g.RemoveNode(99) // no-op
+}
+
+func TestBFSAndShortestPath(t *testing.T) {
+	g := path(10)
+	d := g.BFSDistances(0)
+	for i := 0; i < 10; i++ {
+		if d[NodeID(i)] != i {
+			t.Fatalf("dist to %d = %d", i, d[NodeID(i)])
+		}
+	}
+	p := g.ShortestPath(0, 9)
+	if len(p) != 10 || p[0] != 0 || p[9] != 9 {
+		t.Fatalf("path = %v", p)
+	}
+	if g.ShortestPath(0, 0)[0] != 0 {
+		t.Fatal("trivial path wrong")
+	}
+
+	h := New()
+	h.AddNode(1)
+	h.AddNode(2)
+	if h.ShortestPath(1, 2) != nil {
+		t.Fatal("path across components should be nil")
+	}
+}
+
+func TestConnectedAndDiameter(t *testing.T) {
+	if !New().Connected() {
+		t.Fatal("empty graph should be connected")
+	}
+	g := cycle(8)
+	if !g.Connected() {
+		t.Fatal("cycle disconnected?")
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("diameter of C8 = %d, want 4", d)
+	}
+	if e := g.Eccentricity(0); e != 4 {
+		t.Fatalf("eccentricity = %d", e)
+	}
+	g.AddNode(100)
+	if g.Connected() || g.Diameter() != -1 || g.Eccentricity(0) != -1 {
+		t.Fatal("disconnected graph misreported")
+	}
+}
+
+func TestQuotientContraction(t *testing.T) {
+	// Contract C6 pairwise: {0,1}->0, {2,3}->2, {4,5}->4 gives a triangle
+	// with self-loops from intra-group edges.
+	g := cycle(6)
+	q := g.Quotient(func(u NodeID) NodeID { return u - u%2 })
+	if q.NumNodes() != 3 {
+		t.Fatalf("quotient nodes = %d", q.NumNodes())
+	}
+	if q.NumEdges() != 6 {
+		t.Fatalf("quotient edges = %d, want 6", q.NumEdges())
+	}
+	if q.Multiplicity(0, 0) != 1 || q.Multiplicity(2, 2) != 1 || q.Multiplicity(4, 4) != 1 {
+		t.Fatal("expected self-loops from contracted edges")
+	}
+	if !q.HasEdge(0, 2) || !q.HasEdge(2, 4) || !q.HasEdge(4, 0) {
+		t.Fatal("expected triangle edges")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotientPreservesTotalDegree(t *testing.T) {
+	// Contraction preserves the edge count, hence the total multigraph
+	// degree: this is why a C-balanced mapping of a 3-regular virtual graph
+	// has node degrees exactly 3*Load (Section 3.1).
+	rng := rand.New(rand.NewSource(7))
+	g := New()
+	for i := 0; i < 60; i++ {
+		g.AddEdge(NodeID(rng.Intn(30)), NodeID(rng.Intn(30)))
+	}
+	q := g.Quotient(func(u NodeID) NodeID { return u % 7 })
+	if q.NumEdges() != g.NumEdges() {
+		t.Fatalf("quotient edges %d != original %d", q.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestToCSR(t *testing.T) {
+	g := New()
+	g.AddEdge(10, 20)
+	g.AddEdge(10, 20)
+	g.AddEdge(20, 30)
+	g.AddEdge(30, 30)
+	c := g.ToCSR()
+	if len(c.IDs) != 3 {
+		t.Fatalf("CSR ids = %v", c.IDs)
+	}
+	i10, i20, i30 := c.Index[10], c.Index[20], c.Index[30]
+	if c.Deg[i10] != 2 || c.Deg[i20] != 3 || c.Deg[i30] != 2 {
+		t.Fatalf("CSR degrees = %v", c.Deg)
+	}
+	// Row of 10 has a single entry (20) with weight 2.
+	row := c.Adj[c.RowPtr[i10]:c.RowPtr[i10+1]]
+	if len(row) != 1 || int(row[0]) != i20 || c.Wt[c.RowPtr[i10]] != 2 {
+		t.Fatal("CSR row for node 10 wrong")
+	}
+	_ = i30
+}
+
+func TestWeightedNeighbors(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(1, 1)
+	nbrs, mult := g.WeightedNeighbors(1)
+	if len(nbrs) != 3 {
+		t.Fatalf("nbrs = %v", nbrs)
+	}
+	total := 0
+	for _, m := range mult {
+		total += m
+	}
+	if total != g.Degree(1) {
+		t.Fatalf("weighted neighbor sum %d != degree %d", total, g.Degree(1))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := cycle(4)
+	c := g.Clone()
+	c.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Fatal("clone shares storage")
+	}
+	if c.NumEdges() != g.NumEdges()+1 {
+		t.Fatal("edge counts diverged incorrectly")
+	}
+}
+
+// Property: random edit sequences keep the graph internally consistent and
+// the handshake identity holds.
+func TestRandomEditsStayValidQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		type edge struct{ u, v NodeID }
+		var present []edge
+		for op := 0; op < 400; op++ {
+			u := NodeID(rng.Intn(25))
+			v := NodeID(rng.Intn(25))
+			switch rng.Intn(4) {
+			case 0, 1:
+				g.AddEdge(u, v)
+				present = append(present, edge{u, v})
+			case 2:
+				if len(present) > 0 {
+					i := rng.Intn(len(present))
+					e := present[i]
+					if !g.RemoveEdge(e.u, e.v) {
+						return false
+					}
+					present[i] = present[len(present)-1]
+					present = present[:len(present)-1]
+				}
+			case 3:
+				g.RemoveNode(u)
+				var kept []edge
+				for _, e := range present {
+					if e.u != u && e.v != u {
+						kept = append(kept, e)
+					}
+				}
+				present = kept
+			}
+			if g.Validate() != nil {
+				return false
+			}
+		}
+		return g.NumEdges() == len(present)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distances satisfy the triangle inequality along edges.
+func TestBFSTriangleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := cycle(12)
+		for i := 0; i < 6; i++ {
+			g.AddEdge(NodeID(rng.Intn(12)), NodeID(rng.Intn(12)))
+		}
+		d := g.BFSDistances(0)
+		for _, e := range g.Edges() {
+			du, dv := d[e.U], d[e.V]
+			if du-dv > 1 || dv-du > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBFS4096(b *testing.B) {
+	g := cycle(4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4096; i++ {
+		g.AddEdge(NodeID(rng.Intn(4096)), NodeID(rng.Intn(4096)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFSDistances(0)
+	}
+}

@@ -1,0 +1,328 @@
+// Package harness drives churn experiments against DEX and every
+// baseline through one Maintainer interface, collecting the paper's cost
+// measures per step plus periodic spectral health samples, and renders
+// the tables and series that EXPERIMENTS.md records.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/flipgraph"
+	"repro/internal/graph"
+	"repro/internal/lawsiu"
+	"repro/internal/naive"
+	"repro/internal/skipgraph"
+	"repro/internal/spectral"
+	"repro/internal/stats"
+)
+
+// Cost is the per-operation complexity triple of Table 1.
+type Cost struct {
+	Rounds          int
+	Messages        int
+	TopologyChanges int
+}
+
+// Maintainer is a churn-maintained overlay network.
+type Maintainer interface {
+	Insert(id, attach graph.NodeID) error
+	Delete(id graph.NodeID) error
+	Graph() *graph.Graph
+	Nodes() []graph.NodeID
+	Size() int
+	FreshID() graph.NodeID
+	LastCost() Cost
+}
+
+// --- adapters ---------------------------------------------------------------
+
+// DexMaintainer adapts core.Network.
+type DexMaintainer struct{ *core.Network }
+
+// LastCost converts the step metrics.
+func (d DexMaintainer) LastCost() Cost {
+	m := d.Network.LastStep()
+	return Cost{Rounds: m.Rounds, Messages: m.Messages, TopologyChanges: m.TopologyChanges}
+}
+
+// LawSiuMaintainer adapts lawsiu.Network.
+type LawSiuMaintainer struct{ *lawsiu.Network }
+
+// LastCost converts the operation cost.
+func (l LawSiuMaintainer) LastCost() Cost { return Cost(l.Network.LastCost()) }
+
+// FlipMaintainer adapts flipgraph.Network.
+type FlipMaintainer struct{ *flipgraph.Network }
+
+// LastCost converts the operation cost.
+func (f FlipMaintainer) LastCost() Cost { return Cost(f.Network.LastCost()) }
+
+// SkipMaintainer adapts skipgraph.Network.
+type SkipMaintainer struct{ *skipgraph.Network }
+
+// LastCost converts the operation cost.
+func (s SkipMaintainer) LastCost() Cost { return Cost(s.Network.LastCost()) }
+
+// NaiveMaintainer adapts naive.Network.
+type NaiveMaintainer struct{ *naive.Network }
+
+// LastCost converts the operation cost.
+func (n NaiveMaintainer) LastCost() Cost { return Cost(n.Network.LastCost()) }
+
+// --- adversaries -------------------------------------------------------------
+
+// Adversary decides the next operation given full knowledge of the
+// network (the paper's adaptive model: it sees the entire state and all
+// past random choices; it cannot see future coin flips).
+type Adversary interface {
+	// Step performs exactly one adversarial operation on m.
+	Step(m Maintainer, rng *rand.Rand) error
+	Name() string
+}
+
+// RandomChurn inserts with probability PInsert, attaching to a uniform
+// node, and deletes a uniform node otherwise.
+type RandomChurn struct {
+	PInsert float64
+	MinSize int
+}
+
+// Name implements Adversary.
+func (a RandomChurn) Name() string { return fmt.Sprintf("random(p=%.2f)", a.PInsert) }
+
+// Step implements Adversary.
+func (a RandomChurn) Step(m Maintainer, rng *rand.Rand) error {
+	minSize := a.MinSize
+	if minSize < 6 {
+		minSize = 6
+	}
+	nodes := m.Nodes()
+	if rng.Float64() < a.PInsert || m.Size() <= minSize {
+		return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+	}
+	return deleteSafely(m, nodes[rng.Intn(len(nodes))], rng)
+}
+
+// InsertOnly grows the network.
+type InsertOnly struct{}
+
+// Name implements Adversary.
+func (InsertOnly) Name() string { return "insert-only" }
+
+// Step implements Adversary.
+func (InsertOnly) Step(m Maintainer, rng *rand.Rand) error {
+	nodes := m.Nodes()
+	return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+}
+
+// DeleteOnly shrinks the network (until MinSize, then it re-inserts to
+// keep the run going).
+type DeleteOnly struct{ MinSize int }
+
+// Name implements Adversary.
+func (DeleteOnly) Name() string { return "delete-only" }
+
+// Step implements Adversary.
+func (a DeleteOnly) Step(m Maintainer, rng *rand.Rand) error {
+	minSize := a.MinSize
+	if minSize < 6 {
+		minSize = 6
+	}
+	nodes := m.Nodes()
+	if m.Size() <= minSize {
+		return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+	}
+	return deleteSafely(m, nodes[rng.Intn(len(nodes))], rng)
+}
+
+// MaxDegreeTarget is adaptive: it deletes the node with the highest
+// distinct degree (the structurally most valuable node) with probability
+// PTarget, inserting otherwise to keep the size roughly stable.
+type MaxDegreeTarget struct{ PTarget float64 }
+
+// Name implements Adversary.
+func (MaxDegreeTarget) Name() string { return "max-degree-target" }
+
+// Step implements Adversary.
+func (a MaxDegreeTarget) Step(m Maintainer, rng *rand.Rand) error {
+	nodes := m.Nodes()
+	if rng.Float64() >= a.PTarget || m.Size() <= 6 {
+		return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+	}
+	g := m.Graph()
+	var victim graph.NodeID
+	best := -1
+	for _, u := range nodes {
+		if d := g.DistinctDegree(u); d > best {
+			best = d
+			victim = u
+		}
+	}
+	return deleteSafely(m, victim, rng)
+}
+
+// CutThinning is the strongest adaptive expansion attack here: it
+// computes the Fiedler sweep cut of the live graph and deletes a node on
+// the small side of the bottleneck, directly thinning the sparsest cut.
+// Every other step it inserts (attached to the cut's small side) to keep
+// n stable.
+type CutThinning struct{ parity bool }
+
+// Name implements Adversary.
+func (*CutThinning) Name() string { return "cut-thinning" }
+
+// Step implements Adversary.
+func (a *CutThinning) Step(m Maintainer, rng *rand.Rand) error {
+	a.parity = !a.parity
+	nodes := m.Nodes()
+	set, _ := spectral.SweepCut(m.Graph())
+	if a.parity || m.Size() <= 6 {
+		attach := nodes[rng.Intn(len(nodes))]
+		for u := range set {
+			attach = u
+			break
+		}
+		return m.Insert(m.FreshID(), attach)
+	}
+	g := m.Graph()
+	var victim graph.NodeID
+	bestCut := -1
+	for u := range set {
+		cut := 0
+		for _, v := range g.Neighbors(u) {
+			if !set[v] {
+				cut++
+			}
+		}
+		if cut > bestCut {
+			bestCut = cut
+			victim = u
+		}
+	}
+	if bestCut < 0 {
+		victim = nodes[rng.Intn(len(nodes))]
+	}
+	return deleteSafely(m, victim, rng)
+}
+
+// CoordinatorKiller targets DEX's coordinator every step (failure
+// injection for the Algorithm 4.7 hand-off); on non-DEX maintainers it
+// degenerates to deleting the smallest id.
+type CoordinatorKiller struct{}
+
+// Name implements Adversary.
+func (CoordinatorKiller) Name() string { return "coordinator-killer" }
+
+// Step implements Adversary.
+func (CoordinatorKiller) Step(m Maintainer, rng *rand.Rand) error {
+	nodes := m.Nodes()
+	if m.Size() <= 6 {
+		return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+	}
+	victim := nodes[0]
+	if dex, ok := m.(DexMaintainer); ok {
+		victim = dex.Coordinator()
+	}
+	if err := deleteSafely(m, victim, rng); err != nil {
+		return err
+	}
+	return m.Insert(m.FreshID(), m.Nodes()[rng.Intn(m.Size())])
+}
+
+// deleteSafely retries nearby victims when a maintainer refuses one
+// (e.g. the deletion would disconnect a baseline's structure).
+func deleteSafely(m Maintainer, victim graph.NodeID, rng *rand.Rand) error {
+	if err := m.Delete(victim); err == nil {
+		return nil
+	}
+	nodes := m.Nodes()
+	for try := 0; try < 8; try++ {
+		if err := m.Delete(nodes[rng.Intn(len(nodes))]); err == nil {
+			return nil
+		}
+	}
+	return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+}
+
+// --- the runner ---------------------------------------------------------------
+
+// Record is one step's measurements.
+type Record struct {
+	Step int
+	N    int
+	Cost Cost
+	// Gap is the sampled spectral gap (NaN when not sampled this step).
+	Gap       float64
+	MaxDegree int
+}
+
+// RunConfig controls a churn run.
+type RunConfig struct {
+	Steps    int
+	Seed     int64
+	GapEvery int  // sample the spectral gap every k steps (0 = never)
+	DegEvery int  // sample max distinct degree every k steps (0 = every step)
+	AuditDex bool // run core invariant checks each step (tests)
+}
+
+// Run drives adv against m for cfg.Steps steps and returns the records.
+func Run(m Maintainer, adv Adversary, cfg RunConfig) ([]Record, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	records := make([]Record, 0, cfg.Steps)
+	for i := 0; i < cfg.Steps; i++ {
+		if err := adv.Step(m, rng); err != nil {
+			return records, fmt.Errorf("step %d (%s): %w", i, adv.Name(), err)
+		}
+		rec := Record{Step: i, N: m.Size(), Cost: m.LastCost(), Gap: math.NaN()}
+		if cfg.GapEvery > 0 && i%cfg.GapEvery == 0 {
+			rec.Gap = spectral.Gap(m.Graph())
+		}
+		if cfg.DegEvery == 0 || i%max(1, cfg.DegEvery) == 0 {
+			rec.MaxDegree = m.Graph().MaxDistinctDegree()
+		}
+		if cfg.AuditDex {
+			if dex, ok := m.(DexMaintainer); ok {
+				if err := dex.CheckInvariants(); err != nil {
+					return records, fmt.Errorf("step %d: invariant: %w", i, err)
+				}
+			}
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// Summaries condenses the records into per-measure summaries.
+func Summaries(recs []Record) (rounds, msgs, topo stats.Summary, maxDeg int, minGap float64) {
+	var r, m, t []float64
+	minGap = 1
+	sawGap := false
+	for _, rec := range recs {
+		r = append(r, float64(rec.Cost.Rounds))
+		m = append(m, float64(rec.Cost.Messages))
+		t = append(t, float64(rec.Cost.TopologyChanges))
+		if rec.MaxDegree > maxDeg {
+			maxDeg = rec.MaxDegree
+		}
+		if rec.Gap == rec.Gap { // not NaN
+			sawGap = true
+			if rec.Gap < minGap {
+				minGap = rec.Gap
+			}
+		}
+	}
+	if !sawGap {
+		minGap = -1
+	}
+	return stats.Summarize(r), stats.Summarize(m), stats.Summarize(t), maxDeg, minGap
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flipgraph"
+	"repro/internal/lawsiu"
+	"repro/internal/naive"
+	"repro/internal/skipgraph"
+)
+
+func dex(t testing.TB, n0 int) DexMaintainer {
+	t.Helper()
+	nw, err := core.New(n0, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DexMaintainer{nw}
+}
+
+func allMaintainers(t testing.TB, n0 int) map[string]Maintainer {
+	t.Helper()
+	ls, err := lawsiu.New(n0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := flipgraph.New(n0, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := skipgraph.New(n0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := naive.New(n0, naive.Flooding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := naive.New(n0, naive.GlobalKnowledge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Maintainer{
+		"dex":      dex(t, n0),
+		"law-siu":  LawSiuMaintainer{ls},
+		"flip":     FlipMaintainer{fg},
+		"skip":     SkipMaintainer{sg},
+		"flooding": NaiveMaintainer{nf},
+		"global":   NaiveMaintainer{ng},
+	}
+}
+
+func TestRunRandomChurnAllMaintainers(t *testing.T) {
+	for name, m := range allMaintainers(t, 24) {
+		recs, err := Run(m, RandomChurn{PInsert: 0.5}, RunConfig{Steps: 120, Seed: 2, GapEvery: 30})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(recs) != 120 {
+			t.Fatalf("%s: %d records", name, len(recs))
+		}
+		rounds, msgs, topo, maxDeg, minGap := Summaries(recs)
+		if rounds.Count != 120 || msgs.Mean <= 0 || topo.Max <= 0 {
+			t.Fatalf("%s: degenerate summaries %+v %+v %+v", name, rounds, msgs, topo)
+		}
+		if maxDeg <= 0 {
+			t.Fatalf("%s: no degree sampled", name)
+		}
+		if minGap <= 0 {
+			t.Fatalf("%s: min gap %v (graph disconnected?)", name, minGap)
+		}
+		if !m.Graph().Connected() {
+			t.Fatalf("%s: disconnected after churn", name)
+		}
+	}
+}
+
+func TestAdversariesAgainstDex(t *testing.T) {
+	advs := []Adversary{
+		InsertOnly{},
+		DeleteOnly{},
+		MaxDegreeTarget{PTarget: 0.5},
+		&CutThinning{},
+		CoordinatorKiller{},
+	}
+	for _, adv := range advs {
+		m := dex(t, 24)
+		if _, err := Run(m, adv, RunConfig{Steps: 60, Seed: 3, AuditDex: true}); err != nil {
+			t.Fatalf("%s: %v", adv.Name(), err)
+		}
+	}
+}
+
+func TestDexCostEnvelopeUnderCoordinatorAttack(t *testing.T) {
+	// Failure injection: killing the coordinator every step must not blow
+	// up per-step costs or break invariants.
+	m := dex(t, 48)
+	recs, err := Run(m, CoordinatorKiller{}, RunConfig{Steps: 80, Seed: 4, AuditDex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, msgs, topo, _, _ := Summaries(recs)
+	bound := 4000.0 // generous O(log n) envelope for n<=60
+	if msgs.P95 > bound {
+		t.Fatalf("messages p95 = %v under coordinator attack", msgs.P95)
+	}
+	if topo.P95 > 200 {
+		t.Fatalf("topology changes p95 = %v", topo.P95)
+	}
+}
+
+func TestSummariesGapHandling(t *testing.T) {
+	recs := []Record{{Gap: math.NaN(), MaxDegree: 3}, {Gap: 0.25, MaxDegree: 5}}
+	_, _, _, maxDeg, minGap := Summaries(recs)
+	if maxDeg != 5 || minGap != 0.25 {
+		t.Fatalf("maxDeg=%d minGap=%v", maxDeg, minGap)
+	}
+	if _, _, _, _, g := Summaries([]Record{{Gap: math.NaN()}}); g != -1 {
+		t.Fatalf("no-gap marker = %v", g)
+	}
+}
+
+func TestNaiveCostShapes(t *testing.T) {
+	// Section 3's point: flooding costs Theta(n) messages per step.
+	small, _ := naive.New(32, naive.Flooding)
+	big, _ := naive.New(256, naive.Flooding)
+	ms := NaiveMaintainer{small}
+	mb := NaiveMaintainer{big}
+	ms.Insert(ms.FreshID(), 0)
+	mb.Insert(mb.FreshID(), 0)
+	if mb.LastCost().Messages < 4*ms.LastCost().Messages {
+		t.Fatalf("flooding cost not ~linear: %d vs %d",
+			ms.LastCost().Messages, mb.LastCost().Messages)
+	}
+	// Global knowledge: cheap steps until the leader dies.
+	ng, _ := naive.New(64, naive.GlobalKnowledge)
+	mg := NaiveMaintainer{ng}
+	mg.Insert(mg.FreshID(), 0)
+	cheap := mg.LastCost().Messages
+	if err := mg.Delete(0); err != nil { // node 0 is the leader
+		t.Fatal(err)
+	}
+	if handover := mg.LastCost().Messages; handover < 2*mg.Size() || handover < 10*cheap {
+		t.Fatalf("leader handover not Omega(n): cheap=%d handover=%d n=%d", cheap, handover, mg.Size())
+	}
+}

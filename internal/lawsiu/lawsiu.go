@@ -1,0 +1,199 @@
+// Package lawsiu implements the Law-Siu distributed expander construction
+// (INFOCOM 2003), the first baseline row of the paper's Table 1: the
+// overlay is the union of d random Hamiltonian cycles, so it is
+// 2d-regular and an expander with probability 1 - 1/n^Theta(d) - a
+// probabilistic guarantee that degrades over adversarial churn, which is
+// exactly the contrast DEX draws.
+//
+// Insertion samples a splice position in each cycle with an O(log n)
+// random walk (the decentralized approximation of uniform sampling that
+// Law-Siu and Gkantsidis et al. use); deletion stitches each cycle's
+// predecessor to its successor locally. Costs follow Table 1's
+// accounting: O(d log n) messages and O(log n) rounds per insertion,
+// O(d) per deletion, O(d) topology changes.
+package lawsiu
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// Cost mirrors the paper's per-operation complexity measures.
+type Cost struct {
+	Rounds          int
+	Messages        int
+	TopologyChanges int
+}
+
+// Network is a Law-Siu overlay.
+type Network struct {
+	d      int // number of Hamiltonian cycles
+	succ   []map[graph.NodeID]graph.NodeID
+	pred   []map[graph.NodeID]graph.NodeID
+	g      *graph.Graph
+	rng    *rand.Rand
+	nextID graph.NodeID
+	last   Cost
+}
+
+// New builds the initial overlay of n0 nodes (ids 0..n0-1) as d random
+// Hamiltonian cycles. d >= 2; n0 >= 4.
+func New(n0, d int, seed int64) (*Network, error) {
+	if n0 < 4 || d < 2 {
+		return nil, fmt.Errorf("lawsiu: need n0 >= 4, d >= 2 (got %d, %d)", n0, d)
+	}
+	nw := &Network{
+		d:      d,
+		rng:    rand.New(rand.NewSource(seed)),
+		g:      graph.New(),
+		nextID: graph.NodeID(n0),
+	}
+	ids := make([]graph.NodeID, n0)
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+		nw.g.AddNode(ids[i])
+	}
+	for c := 0; c < d; c++ {
+		perm := nw.rng.Perm(n0)
+		succ := make(map[graph.NodeID]graph.NodeID, n0)
+		pred := make(map[graph.NodeID]graph.NodeID, n0)
+		for i := range perm {
+			a := ids[perm[i]]
+			b := ids[perm[(i+1)%n0]]
+			succ[a] = b
+			pred[b] = a
+			nw.g.AddEdge(a, b)
+		}
+		nw.succ = append(nw.succ, succ)
+		nw.pred = append(nw.pred, pred)
+	}
+	return nw, nil
+}
+
+// Size returns the node count.
+func (nw *Network) Size() int { return nw.g.NumNodes() }
+
+// Graph returns the live overlay (treat as read-only).
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Nodes lists node ids ascending.
+func (nw *Network) Nodes() []graph.NodeID { return nw.g.Nodes() }
+
+// FreshID returns an unused id.
+func (nw *Network) FreshID() graph.NodeID {
+	id := nw.nextID
+	nw.nextID++
+	return id
+}
+
+// LastCost returns the cost of the most recent operation.
+func (nw *Network) LastCost() Cost { return nw.last }
+
+func (nw *Network) walkLen() int {
+	n := nw.Size()
+	if n < 2 {
+		return 1
+	}
+	return 4 * int(math.Ceil(math.Log2(float64(n))))
+}
+
+// Insert splices id into each cycle at a walk-sampled position; attach is
+// the introducer the walks start from.
+func (nw *Network) Insert(id, attach graph.NodeID) error {
+	if nw.g.HasNode(id) {
+		return fmt.Errorf("lawsiu: duplicate id %d", id)
+	}
+	if !nw.g.HasNode(attach) {
+		return fmt.Errorf("lawsiu: unknown introducer %d", attach)
+	}
+	if id >= nw.nextID {
+		nw.nextID = id + 1
+	}
+	nw.last = Cost{}
+	nw.g.AddNode(id)
+	L := nw.walkLen()
+	for c := 0; c < nw.d; c++ {
+		res := congest.RandomWalkDirect(nw.g, attach, id, L, nw.rng.Uint64(),
+			func(u graph.NodeID) bool { return false })
+		nw.last.Messages += res.Steps + 2
+		if res.Steps > nw.last.Rounds {
+			nw.last.Rounds = res.Steps // the d walks run in parallel
+		}
+		a := res.End
+		if _, ok := nw.succ[c][a]; !ok {
+			a = attach
+		}
+		b := nw.succ[c][a]
+		nw.g.RemoveEdge(a, b)
+		nw.succ[c][a] = id
+		nw.pred[c][id] = a
+		nw.succ[c][id] = b
+		nw.pred[c][b] = id
+		nw.g.AddEdge(a, id)
+		nw.g.AddEdge(id, b)
+		nw.last.TopologyChanges += 3
+	}
+	return nil
+}
+
+// Delete removes id; each cycle stitches around it.
+func (nw *Network) Delete(id graph.NodeID) error {
+	if !nw.g.HasNode(id) {
+		return fmt.Errorf("lawsiu: unknown id %d", id)
+	}
+	if nw.Size() <= 4 {
+		return fmt.Errorf("lawsiu: refusing to shrink below 4")
+	}
+	nw.last = Cost{Rounds: 1}
+	for c := 0; c < nw.d; c++ {
+		a, b := nw.pred[c][id], nw.succ[c][id]
+		delete(nw.pred[c], id)
+		delete(nw.succ[c], id)
+		nw.g.RemoveEdge(a, id)
+		nw.g.RemoveEdge(id, b)
+		if a != id && b != id {
+			nw.succ[c][a] = b
+			nw.pred[c][b] = a
+			nw.g.AddEdge(a, b)
+		}
+		nw.last.Messages += 2
+		nw.last.TopologyChanges += 3
+	}
+	nw.g.RemoveNode(id)
+	return nil
+}
+
+// Validate checks the cycle structure (tests).
+func (nw *Network) Validate() error {
+	n := nw.Size()
+	for c := 0; c < nw.d; c++ {
+		if len(nw.succ[c]) != n || len(nw.pred[c]) != n {
+			return fmt.Errorf("lawsiu: cycle %d covers %d/%d nodes", c, len(nw.succ[c]), n)
+		}
+		for a, b := range nw.succ[c] {
+			if nw.pred[c][b] != a {
+				return fmt.Errorf("lawsiu: cycle %d broken at %d->%d", c, a, b)
+			}
+			if !nw.g.HasEdge(a, b) {
+				return fmt.Errorf("lawsiu: missing edge %d-%d", a, b)
+			}
+		}
+		// Each cycle must be a single orbit.
+		start := nw.g.Nodes()[0]
+		seen := 1
+		for cur := nw.succ[c][start]; cur != start; cur = nw.succ[c][cur] {
+			seen++
+			if seen > n {
+				return fmt.Errorf("lawsiu: cycle %d not a single orbit", c)
+			}
+		}
+		if seen != n {
+			return fmt.Errorf("lawsiu: cycle %d orbit %d != %d", c, seen, n)
+		}
+	}
+	return nw.g.Validate()
+}

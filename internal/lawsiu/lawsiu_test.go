@@ -1,0 +1,107 @@
+package lawsiu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 3, 1); err == nil {
+		t.Fatal("accepted n0=2")
+	}
+	if _, err := New(10, 1, 1); err == nil {
+		t.Fatal("accepted d=1")
+	}
+}
+
+func TestInitialStructure(t *testing.T) {
+	nw, err := New(32, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Union of 3 Hamiltonian cycles: every node has multigraph degree 6.
+	for _, u := range nw.Nodes() {
+		if d := nw.Graph().Degree(u); d != 6 {
+			t.Fatalf("degree(%d) = %d, want 6", u, d)
+		}
+	}
+	if gap := spectral.Gap(nw.Graph()); gap < 0.05 {
+		t.Fatalf("initial gap = %v (should be an expander whp)", gap)
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	nw, err := New(16, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := nw.FreshID()
+	if err := nw.Insert(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := nw.LastCost()
+	if c.Messages == 0 || c.Rounds == 0 || c.TopologyChanges != 9 {
+		t.Fatalf("insert cost = %+v", c)
+	}
+	if err := nw.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.LastCost().TopologyChanges != 9 {
+		t.Fatalf("delete cost = %+v", nw.LastCost())
+	}
+}
+
+func TestInsertDeleteErrors(t *testing.T) {
+	nw, _ := New(16, 2, 1)
+	if err := nw.Insert(0, 1); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if err := nw.Insert(nw.FreshID(), 999); err == nil {
+		t.Fatal("unknown introducer accepted")
+	}
+	if err := nw.Delete(999); err == nil {
+		t.Fatal("unknown delete accepted")
+	}
+}
+
+func TestChurnKeepsCyclesIntact(t *testing.T) {
+	nw, err := New(24, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < 0.5 || nw.Size() <= 6 {
+			if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := nw.Delete(nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%25 == 0 {
+			if err := nw.Validate(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Graph().Connected() {
+		t.Fatal("disconnected after churn")
+	}
+}

@@ -1,0 +1,67 @@
+package naive
+
+import (
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func TestFloodingMaintainsIdealExpander(t *testing.T) {
+	nw, err := New(32, Flooding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := nw.Insert(nw.FreshID(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !nw.Graph().Connected() {
+		t.Fatal("disconnected")
+	}
+	if gap := spectral.Gap(nw.Graph()); gap < 0.02 {
+		t.Fatalf("gap = %v", gap)
+	}
+	if nw.LastCost().Messages < nw.Size() {
+		t.Fatalf("flooding cost %d below n=%d", nw.LastCost().Messages, nw.Size())
+	}
+}
+
+func TestGlobalKnowledgeCheapUntilLeaderDies(t *testing.T) {
+	nw, err := New(32, GlobalKnowledge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Insert(nw.FreshID(), 0)
+	if nw.LastCost().Messages > 10 {
+		t.Fatalf("ordinary step cost %d not O(1)", nw.LastCost().Messages)
+	}
+	if err := nw.Delete(0); err != nil { // leader
+		t.Fatal(err)
+	}
+	if nw.LastCost().Messages < nw.Size() {
+		t.Fatalf("handover cost %d not Omega(n)", nw.LastCost().Messages)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(2, Flooding); err == nil {
+		t.Fatal("accepted tiny n0")
+	}
+	nw, _ := New(8, Flooding)
+	if err := nw.Insert(0, 1); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := nw.Insert(nw.FreshID(), 999); err == nil {
+		t.Fatal("unknown introducer accepted")
+	}
+	if err := nw.Delete(999); err == nil {
+		t.Fatal("unknown delete accepted")
+	}
+	for i := 0; i < 4; i++ {
+		nw.Delete(nw.Nodes()[0])
+	}
+	if err := nw.Delete(nw.Nodes()[0]); err == nil {
+		t.Fatal("shrank below minimum")
+	}
+}

@@ -1,0 +1,168 @@
+// Package primes provides the deterministic number-theoretic primitives the
+// DEX algorithm depends on: primality testing, prime search inside
+// Bertrand-style intervals, and modular inverses for the p-cycle chord
+// edges (Definition 1 of the paper).
+//
+// All routines are deterministic and exact for every int64 input, so the
+// virtual-graph construction is reproducible across runs and across the
+// simulated nodes (every node must compute the *same* next prime, cf.
+// Algorithm 4.5 line 3).
+package primes
+
+import "math/bits"
+
+// IsPrime reports whether n is prime. It uses a deterministic Miller-Rabin
+// test with a witness set proven sufficient for all n < 3,317,044,064,679,887,385,961,981
+// (Sorenson & Webster), which covers the full positive int64 range.
+func IsPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range smallPrimes {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// Write n-1 = d * 2^s with d odd.
+	d := n - 1
+	s := 0
+	for d%2 == 0 {
+		d /= 2
+		s++
+	}
+	for _, a := range mrWitnesses {
+		if a%n == 0 {
+			continue
+		}
+		if !millerRabinRound(n, uint64(d), s, uint64(a%n)) {
+			return false
+		}
+	}
+	return true
+}
+
+var smallPrimes = []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// mrWitnesses is the deterministic witness set for 64-bit integers.
+var mrWitnesses = []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// millerRabinRound performs one strong-pseudoprime round for witness a.
+// It returns false when a proves n composite.
+func millerRabinRound(n int64, d uint64, s int, a uint64) bool {
+	un := uint64(n)
+	x := powMod(a, d, un)
+	if x == 1 || x == un-1 {
+		return true
+	}
+	for i := 0; i < s-1; i++ {
+		x = mulMod(x, x, un)
+		if x == un-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// mulMod computes (a*b) mod m without overflow using 128-bit intermediates.
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// powMod computes (base^exp) mod m.
+func powMod(base, exp, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = mulMod(result, base, m)
+		}
+		base = mulMod(base, base, m)
+		exp >>= 1
+	}
+	return result
+}
+
+// NextPrime returns the smallest prime >= n, or 0 if the search would
+// overflow int64.
+func NextPrime(n int64) int64 {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for ; n > 0; n += 2 {
+		if IsPrime(n) {
+			return n
+		}
+	}
+	return 0
+}
+
+// FirstPrimeIn returns the smallest prime p with lo < p < hi (exclusive
+// bounds, matching the paper's open intervals such as (4p_i, 8p_i)), and
+// true on success. Bertrand's postulate guarantees success whenever
+// hi >= 2*(lo+1), which holds for every interval DEX uses.
+func FirstPrimeIn(lo, hi int64) (int64, bool) {
+	p := NextPrime(lo + 1)
+	if p == 0 || p >= hi {
+		return 0, false
+	}
+	return p, true
+}
+
+// ModInverse returns the multiplicative inverse of a modulo the prime p,
+// i.e. the unique x in [1, p-1] with a*x ≡ 1 (mod p). It panics if a ≡ 0,
+// because 0 has no inverse (the p-cycle gives vertex 0 a self-loop
+// instead, cf. Definition 1).
+func ModInverse(a, p int64) int64 {
+	a %= p
+	if a < 0 {
+		a += p
+	}
+	if a == 0 {
+		panic("primes: ModInverse of 0")
+	}
+	// Extended Euclid on (a, p).
+	t, newT := int64(0), int64(1)
+	r, newR := p, a
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	if r != 1 {
+		panic("primes: ModInverse modulus not prime or gcd != 1")
+	}
+	if t < 0 {
+		t += p
+	}
+	return t
+}
+
+// PrimesUpTo returns all primes <= n in increasing order using a simple
+// sieve. Intended for tests and small-n experiment setup.
+func PrimesUpTo(n int64) []int64 {
+	if n < 2 {
+		return nil
+	}
+	sieve := make([]bool, n+1)
+	var out []int64
+	for i := int64(2); i <= n; i++ {
+		if !sieve[i] {
+			out = append(out, i)
+			for j := i * i; j <= n; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+	return out
+}

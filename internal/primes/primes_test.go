@@ -1,0 +1,197 @@
+package primes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func trialDivisionIsPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := int64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIsPrimeSmall(t *testing.T) {
+	for n := int64(-5); n <= 2000; n++ {
+		if got, want := IsPrime(n), trialDivisionIsPrime(n); got != want {
+			t.Fatalf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimeKnownValues(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want bool
+	}{
+		{2, true},
+		{3, true},
+		{23, true}, // the paper's Figure 1 p-cycle modulus
+		{1_000_000_007, true},
+		{1_000_000_008, false},
+		{2_147_483_647, true},              // Mersenne prime 2^31-1
+		{4_294_967_297, false},             // Fermat F5 = 641 * 6700417
+		{9_223_372_036_854_775_783, true},  // largest prime < 2^63
+		{9_223_372_036_854_775_807, false}, // 2^63-1 = 7*73*127*337*92737*649657
+		{3_215_031_751, false},             // strong pseudoprime to bases 2,3,5,7
+	}
+	for _, c := range cases {
+		if got := IsPrime(c.n); got != c.want {
+			t.Errorf("IsPrime(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIsPrimeMatchesTrialDivisionQuick(t *testing.T) {
+	f := func(x uint32) bool {
+		n := int64(x)%5_000_000 + 2
+		return IsPrime(n) == trialDivisionIsPrime(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{0, 2}, {2, 2}, {3, 3}, {4, 5}, {14, 17}, {24, 29}, {90, 97},
+		{7919, 7919}, {7920, 7927},
+	}
+	for _, c := range cases {
+		if got := NextPrime(c.in); got != c.want {
+			t.Errorf("NextPrime(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFirstPrimeInBertrandIntervals(t *testing.T) {
+	// DEX uses intervals (4p, 8p) for inflation and (p/8, p/4) for
+	// deflation. Both contain a prime for every realistic p; verify over a
+	// dense sweep of starting primes.
+	for _, p := range PrimesUpTo(5000) {
+		if p < 11 {
+			continue
+		}
+		q, ok := FirstPrimeIn(4*p, 8*p)
+		if !ok {
+			t.Fatalf("no prime in (4*%d, 8*%d)", p, p)
+		}
+		if q <= 4*p || q >= 8*p || !IsPrime(q) {
+			t.Fatalf("FirstPrimeIn(4*%d,8*%d) = %d invalid", p, p, q)
+		}
+		s, ok := FirstPrimeIn(p/8, p/4)
+		if p >= 97 {
+			if !ok {
+				t.Fatalf("no prime in (%d/8, %d/4)", p, p)
+			}
+			if s <= p/8 || s >= p/4 || !IsPrime(s) {
+				t.Fatalf("FirstPrimeIn(%d/8,%d/4) = %d invalid", p, p, s)
+			}
+		}
+	}
+}
+
+func TestFirstPrimeInEmptyInterval(t *testing.T) {
+	if p, ok := FirstPrimeIn(24, 28); ok {
+		t.Fatalf("expected no prime in (24,28), got %d", p)
+	}
+	if p, ok := FirstPrimeIn(10, 10); ok {
+		t.Fatalf("expected no prime in empty interval, got %d", p)
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	for _, p := range []int64{2, 3, 5, 7, 23, 101, 7919, 1_000_000_007} {
+		rng := rand.New(rand.NewSource(p))
+		for i := 0; i < 50; i++ {
+			a := rng.Int63n(p-1) + 1
+			inv := ModInverse(a, p)
+			if inv < 1 || inv >= p {
+				t.Fatalf("ModInverse(%d,%d) = %d out of range", a, p, inv)
+			}
+			if got := mulMod(uint64(a), uint64(inv), uint64(p)); got != 1 {
+				t.Fatalf("a*inv mod p = %d for a=%d p=%d inv=%d", got, a, p, inv)
+			}
+		}
+	}
+}
+
+func TestModInverseInvolution(t *testing.T) {
+	// In Z_p*, inverse is an involution: inv(inv(a)) == a. This is what
+	// makes the p-cycle chord edges well-defined as undirected edges.
+	const p = 1009
+	for a := int64(1); a < p; a++ {
+		if got := ModInverse(ModInverse(a, p), p); got != a {
+			t.Fatalf("inv(inv(%d)) = %d", a, got)
+		}
+	}
+}
+
+func TestModInverseSelfInverseElements(t *testing.T) {
+	// Only 1 and p-1 are self-inverse mod a prime p > 2; these become the
+	// only chord self-loops in Z(p) besides vertex 0.
+	const p = 23
+	var selfInv []int64
+	for a := int64(1); a < p; a++ {
+		if ModInverse(a, p) == a {
+			selfInv = append(selfInv, a)
+		}
+	}
+	if len(selfInv) != 2 || selfInv[0] != 1 || selfInv[1] != p-1 {
+		t.Fatalf("self-inverse elements mod %d = %v, want [1 %d]", p, selfInv, p-1)
+	}
+}
+
+func TestModInverseZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ModInverse(0, p) did not panic")
+		}
+	}()
+	ModInverse(0, 23)
+}
+
+func TestPrimesUpTo(t *testing.T) {
+	got := PrimesUpTo(30)
+	want := []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	if len(got) != len(want) {
+		t.Fatalf("PrimesUpTo(30) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PrimesUpTo(30)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if PrimesUpTo(1) != nil {
+		t.Fatal("PrimesUpTo(1) should be empty")
+	}
+}
+
+func TestMulModLargeOperands(t *testing.T) {
+	// Near-2^63 operands must not overflow.
+	const m = uint64(9_223_372_036_854_775_783)
+	a, b := m-1, m-2
+	// (m-1)(m-2) mod m == 2 mod m.
+	if got := mulMod(a, b, m); got != 2 {
+		t.Fatalf("mulMod(m-1, m-2, m) = %d, want 2", got)
+	}
+}
+
+func BenchmarkIsPrime64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		IsPrime(9_223_372_036_854_775_783)
+	}
+}
+
+func BenchmarkFirstPrimeInInflationInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		FirstPrimeIn(4*104729, 8*104729)
+	}
+}

@@ -1,0 +1,302 @@
+// Package skipgraph implements a skip graph overlay (Aspnes-Shah), the
+// randomized comparison structure in the paper's Table 1: every node
+// draws a random membership vector; level i links nodes agreeing on the
+// first i bits into doubly-linked sorted lists. Skip graphs contain
+// expanders w.h.p. [2] but their degree grows as Theta(log n) and the
+// expansion guarantee is probabilistic - the properties Table 1
+// contrasts with DEX's deterministic constant degree and gap.
+//
+// Costs are counted as real traversals: a join pays its search hops at
+// level 0 plus a neighbor scan per level; a leave pays two unlink
+// messages per level.
+package skipgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+const maxLevels = 62
+
+// Cost mirrors the per-operation complexity measures.
+type Cost struct {
+	Rounds          int
+	Messages        int
+	TopologyChanges int
+}
+
+type node struct {
+	id    graph.NodeID
+	mv    uint64
+	left  []graph.NodeID // per level; -1 = list end
+	right []graph.NodeID
+}
+
+func (n *node) top() int { return len(n.left) - 1 }
+
+// Network is a skip graph overlay.
+type Network struct {
+	nodes  map[graph.NodeID]*node
+	rng    *rand.Rand
+	nextID graph.NodeID
+	last   Cost
+}
+
+// New builds a skip graph of n0 nodes (ids 0..n0-1) by sequential joins.
+func New(n0 int, seed int64) (*Network, error) {
+	if n0 < 4 {
+		return nil, fmt.Errorf("skipgraph: need n0 >= 4, got %d", n0)
+	}
+	nw := &Network{
+		nodes:  make(map[graph.NodeID]*node),
+		rng:    rand.New(rand.NewSource(seed)),
+		nextID: graph.NodeID(n0),
+	}
+	first := &node{id: 0, mv: nw.rng.Uint64(), left: []graph.NodeID{-1}, right: []graph.NodeID{-1}}
+	nw.nodes[0] = first
+	for i := 1; i < n0; i++ {
+		if err := nw.Insert(graph.NodeID(i), 0); err != nil {
+			return nil, err
+		}
+	}
+	nw.last = Cost{}
+	return nw, nil
+}
+
+// match reports whether two membership vectors agree on their first
+// `bits` bits (stored in the low bits).
+func match(a, b uint64, bits int) bool {
+	if bits >= 64 {
+		return a == b
+	}
+	return (a^b)&((1<<uint(bits))-1) == 0
+}
+
+// Size, Graph, Nodes, FreshID, LastCost implement the harness interface.
+func (nw *Network) Size() int { return len(nw.nodes) }
+
+// Nodes returns ids ascending.
+func (nw *Network) Nodes() []graph.NodeID {
+	g := graph.New()
+	for id := range nw.nodes {
+		g.AddNode(id)
+	}
+	return g.Nodes()
+}
+
+// FreshID returns an unused id.
+func (nw *Network) FreshID() graph.NodeID {
+	id := nw.nextID
+	nw.nextID++
+	return id
+}
+
+// LastCost returns the most recent operation's cost.
+func (nw *Network) LastCost() Cost { return nw.last }
+
+// Graph materializes the union of all level lists as a multigraph.
+func (nw *Network) Graph() *graph.Graph {
+	g := graph.New()
+	for id, n := range nw.nodes {
+		g.AddNode(id)
+		for lvl := 0; lvl <= n.top(); lvl++ {
+			if r := n.right[lvl]; r >= 0 {
+				g.AddEdge(id, r)
+			}
+		}
+	}
+	return g
+}
+
+// searchPredecessor finds the level-0 node with the largest id <= key,
+// starting from `from`, and returns it with the hop count. Standard skip
+// search: move as far as possible per level, then descend.
+func (nw *Network) searchPredecessor(from graph.NodeID, key graph.NodeID) (graph.NodeID, int) {
+	cur := nw.nodes[from]
+	hops := 0
+	for lvl := cur.top(); lvl >= 0; lvl-- {
+		for {
+			if lvl > cur.top() {
+				break
+			}
+			if key > cur.id {
+				r := cur.right[lvl]
+				if r >= 0 && r <= key {
+					cur = nw.nodes[r]
+					hops++
+					continue
+				}
+			} else if key < cur.id {
+				l := cur.left[lvl]
+				if l >= 0 {
+					cur = nw.nodes[l]
+					hops++
+					continue
+				}
+			}
+			break
+		}
+	}
+	// cur is now adjacent to key's position; normalize to predecessor.
+	for cur.id > key {
+		l := cur.left[0]
+		if l < 0 {
+			return cur.id, hops // key precedes the whole list
+		}
+		cur = nw.nodes[l]
+		hops++
+	}
+	return cur.id, hops
+}
+
+// Insert joins id via introducer attach.
+func (nw *Network) Insert(id, attach graph.NodeID) error {
+	if _, dup := nw.nodes[id]; dup {
+		return fmt.Errorf("skipgraph: duplicate id %d", id)
+	}
+	if _, ok := nw.nodes[attach]; !ok {
+		return fmt.Errorf("skipgraph: unknown introducer %d", attach)
+	}
+	if id >= nw.nextID {
+		nw.nextID = id + 1
+	}
+	nw.last = Cost{}
+	n := &node{id: id, mv: nw.rng.Uint64(), left: []graph.NodeID{-1}, right: []graph.NodeID{-1}}
+
+	// Level 0: search for the insertion position.
+	predID, hops := nw.searchPredecessor(attach, id)
+	nw.last.Messages += hops
+	nw.last.Rounds += hops
+	pred := nw.nodes[predID]
+	if pred.id > id {
+		// id precedes the whole level-0 list: insert before pred.
+		n.right[0] = pred.id
+		n.left[0] = -1
+		pred.left[0] = id
+	} else {
+		n.left[0] = pred.id
+		n.right[0] = pred.right[0]
+		pred.right[0] = id
+		if r := n.right[0]; r >= 0 {
+			nw.nodes[r].left[0] = id
+		}
+	}
+	nw.last.Messages += 2
+	nw.last.TopologyChanges += 3
+	nw.nodes[id] = n
+
+	// Higher levels: scan level lvl-1 outward for the nearest node whose
+	// membership vector matches lvl bits; link beside it.
+	for lvl := 1; lvl < maxLevels; lvl++ {
+		scan := 0
+		foundLeft, foundRight := graph.NodeID(-1), graph.NodeID(-1)
+		for cur := n.left[lvl-1]; cur >= 0; cur = nw.nodes[cur].left[lvl-1] {
+			scan++
+			if match(nw.nodes[cur].mv, n.mv, lvl) {
+				foundLeft = cur
+				break
+			}
+		}
+		for cur := n.right[lvl-1]; cur >= 0; cur = nw.nodes[cur].right[lvl-1] {
+			scan++
+			if match(nw.nodes[cur].mv, n.mv, lvl) {
+				foundRight = cur
+				break
+			}
+		}
+		nw.last.Messages += scan
+		nw.last.Rounds += scan
+		if foundLeft < 0 && foundRight < 0 {
+			break // alone at this level: the node's top level is lvl-1
+		}
+		n.left = append(n.left, foundLeft)
+		n.right = append(n.right, foundRight)
+		if foundLeft >= 0 {
+			w := nw.nodes[foundLeft]
+			ensureLevel(w, lvl)
+			w.right[lvl] = id
+		}
+		if foundRight >= 0 {
+			w := nw.nodes[foundRight]
+			ensureLevel(w, lvl)
+			w.left[lvl] = id
+		}
+		nw.last.Messages += 2
+		nw.last.TopologyChanges += 2
+	}
+	return nil
+}
+
+// ensureLevel grows a node's link arrays up to lvl (a previously-alone
+// node gains the level when a peer arrives).
+func ensureLevel(n *node, lvl int) {
+	for len(n.left) <= lvl {
+		n.left = append(n.left, -1)
+		n.right = append(n.right, -1)
+	}
+}
+
+// Delete unlinks id at every level.
+func (nw *Network) Delete(id graph.NodeID) error {
+	n, ok := nw.nodes[id]
+	if !ok {
+		return fmt.Errorf("skipgraph: unknown id %d", id)
+	}
+	if nw.Size() <= 4 {
+		return fmt.Errorf("skipgraph: refusing to shrink below 4")
+	}
+	nw.last = Cost{Rounds: 1}
+	for lvl := 0; lvl <= n.top(); lvl++ {
+		l, r := n.left[lvl], n.right[lvl]
+		if l >= 0 {
+			nw.nodes[l].right[lvl] = r
+		}
+		if r >= 0 {
+			nw.nodes[r].left[lvl] = l
+		}
+		nw.last.Messages += 2
+		nw.last.TopologyChanges += 2
+	}
+	delete(nw.nodes, id)
+	return nil
+}
+
+// MaxLevel returns the highest occupied level (tests; Theta(log n) whp).
+func (nw *Network) MaxLevel() int {
+	m := 0
+	for _, n := range nw.nodes {
+		if n.top() > m {
+			m = n.top()
+		}
+	}
+	return m
+}
+
+// Validate checks list symmetry, sortedness and prefix agreement.
+func (nw *Network) Validate() error {
+	for id, n := range nw.nodes {
+		for lvl := 0; lvl <= n.top(); lvl++ {
+			if r := n.right[lvl]; r >= 0 {
+				w, ok := nw.nodes[r]
+				if !ok {
+					return fmt.Errorf("skipgraph: %d right[%d] dangling -> %d", id, lvl, r)
+				}
+				if lvl > w.top() || w.left[lvl] != id {
+					return fmt.Errorf("skipgraph: asymmetric link %d<->%d at level %d", id, r, lvl)
+				}
+				if w.id <= id {
+					return fmt.Errorf("skipgraph: unsorted at level %d: %d -> %d", lvl, id, r)
+				}
+				if !match(n.mv, w.mv, lvl) {
+					return fmt.Errorf("skipgraph: level-%d neighbors %d,%d disagree on prefix", lvl, id, r)
+				}
+			}
+		}
+	}
+	if g := nw.Graph(); !g.Connected() {
+		return fmt.Errorf("skipgraph: disconnected")
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package skipgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestNewAndValidate(t *testing.T) {
+	nw, err := New(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Size() != 64 {
+		t.Fatalf("size = %d", nw.Size())
+	}
+}
+
+func TestLevelStructureLogarithmic(t *testing.T) {
+	nw, err := New(256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max level is Theta(log n) whp; allow generous constants.
+	ml := nw.MaxLevel()
+	logN := math.Log2(256)
+	if float64(ml) < logN/2 || float64(ml) > 4*logN {
+		t.Fatalf("max level %d not ~log n (%v)", ml, logN)
+	}
+	// Degree is Theta(log n), NOT constant - Table 1's key contrast.
+	maxDeg := nw.Graph().MaxDistinctDegree()
+	if maxDeg < int(logN/2) {
+		t.Fatalf("max degree %d suspiciously small", maxDeg)
+	}
+}
+
+func TestInsertErrorsAndCosts(t *testing.T) {
+	nw, _ := New(32, 3)
+	if err := nw.Insert(0, 1); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := nw.Insert(nw.FreshID(), 12345); err == nil {
+		t.Fatal("unknown introducer accepted")
+	}
+	id := nw.FreshID()
+	if err := nw.Insert(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	c := nw.LastCost()
+	if c.Messages <= 0 || c.TopologyChanges <= 0 {
+		t.Fatalf("insert cost = %+v", c)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	nw, _ := New(32, 4)
+	if err := nw.Delete(999); err == nil {
+		t.Fatal("unknown delete accepted")
+	}
+	if err := nw.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Size() != 31 {
+		t.Fatalf("size = %d", nw.Size())
+	}
+}
+
+func TestChurnKeepsStructure(t *testing.T) {
+	nw, err := New(24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 400; i++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < 0.5 || nw.Size() <= 6 {
+			if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := nw.Delete(nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%40 == 0 {
+			if err := nw.Validate(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchCostLogarithmic(t *testing.T) {
+	nw, err := New(512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	const probes = 64
+	for i := 0; i < probes; i++ {
+		_, hops := nw.searchPredecessor(0, graph.NodeID(i*7)%512)
+		total += hops
+	}
+	mean := float64(total) / probes
+	if mean > 6*math.Log2(512) {
+		t.Fatalf("mean search hops %v not logarithmic", mean)
+	}
+}

@@ -1,0 +1,527 @@
+// Package spectral measures expansion: spectral gaps, conductance, edge
+// expansion, Fiedler vectors and Cheeger-inequality checks for the
+// multigraphs in this repository.
+//
+// The central quantity is the spectral gap 1 - lambda2 of the normalized
+// adjacency matrix N = D^{-1/2} A D^{-1/2}, where A includes edge
+// multiplicities (self-loops once) and D is the multigraph degree
+// diagonal. For d-regular graphs this coincides with the paper's
+// 1 - lambda(G) with lambda the second-largest adjacency eigenvalue
+// divided by d; for the contracted (non-regular) real network it is the
+// standard generalization under which Lemma 10 (contraction does not
+// shrink the gap) continues to hold.
+//
+// Two engines are provided: an exact dense Jacobi eigensolver for graphs
+// up to a few hundred nodes (used by tests as ground truth) and a
+// matrix-free deflated power iteration on the lazy operator
+// (I + N) / 2 that scales to the tens of thousands of nodes used by the
+// churn experiments.
+package spectral
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DenseLimit is the node-count threshold below which Gap uses the exact
+// Jacobi solver.
+const DenseLimit = 384
+
+// Gap returns the spectral gap 1 - lambda2(N) of g. Graphs with fewer than
+// two nodes have gap 1 by convention. Disconnected graphs have gap <= 0.
+func Gap(g *graph.Graph) float64 {
+	if g.NumNodes() < 2 {
+		return 1
+	}
+	if g.NumNodes() <= DenseLimit {
+		return GapDense(g)
+	}
+	return GapIterative(g)
+}
+
+// GapDense computes the gap with the exact dense eigensolver.
+func GapDense(g *graph.Graph) float64 {
+	ev := NormalizedEigenvalues(g)
+	if len(ev) < 2 {
+		return 1
+	}
+	return 1 - ev[1]
+}
+
+// NormalizedEigenvalues returns all eigenvalues of N = D^{-1/2} A D^{-1/2}
+// in descending order, computed densely. Isolated nodes contribute a zero
+// row (eigenvalue 0).
+func NormalizedEigenvalues(g *graph.Graph) []float64 {
+	c := g.ToCSR()
+	n := len(c.IDs)
+	if n == 0 {
+		return nil
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			j := int(c.Adj[k])
+			di, dj := c.Deg[i], c.Deg[j]
+			if di > 0 && dj > 0 {
+				a[i][j] = c.Wt[k] / math.Sqrt(di*dj)
+			}
+		}
+	}
+	vals, _ := JacobiEigen(a)
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	return vals
+}
+
+// JacobiEigen diagonalizes the symmetric matrix a (destructively) via the
+// cyclic Jacobi method and returns its eigenvalues and an orthonormal
+// eigenvector matrix whose column j (vecs[i][j] over i) corresponds to
+// vals[j]. Eigenvalues are unsorted.
+func JacobiEigen(a [][]float64) (vals []float64, vecs [][]float64) {
+	n := len(a)
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				cos := 1 / math.Sqrt(t*t+1)
+				sin := t * cos
+				for k := 0; k < n; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = cos*akp - sin*akq
+					a[k][q] = sin*akp + cos*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = cos*apk - sin*aqk
+					a[q][k] = sin*apk + cos*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = cos*vkp - sin*vkq
+					v[k][q] = sin*vkp + cos*vkq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a[i][i]
+	}
+	return vals, v
+}
+
+// GapIterative computes the gap with matrix-free deflated power iteration
+// on the lazy operator M = (I+N)/2, whose spectrum lies in [0,1] so the
+// dominant remaining eigenvalue after deflating the known top eigenvector
+// (sqrt of degrees) is exactly the second-largest signed eigenvalue.
+func GapIterative(g *graph.Graph) float64 {
+	c := g.ToCSR()
+	n := len(c.IDs)
+	if n < 2 {
+		return 1
+	}
+	// Known top eigenvector of N for each connected component would be
+	// degree-weighted; for a connected graph it is v1(i) = sqrt(d_i),
+	// normalized. Disconnected graphs then report lambda2 ~ 1 => gap ~ 0,
+	// which is the correct signal for the experiments.
+	v1 := make([]float64, n)
+	var norm float64
+	for i := 0; i < n; i++ {
+		v1[i] = math.Sqrt(c.Deg[i])
+		norm += v1[i] * v1[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		return 0
+	}
+	for i := range v1 {
+		v1[i] /= norm
+	}
+
+	x := make([]float64, n)
+	// Deterministic pseudo-random start, orthogonalized against v1.
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range x {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		x[i] = float64(s%2048)/1024 - 1
+	}
+	orthogonalize(x, v1)
+	normalize(x)
+
+	y := make([]float64, n)
+	mu := 0.0
+	iters := 80 * int(math.Ceil(math.Log2(float64(n+2))))
+	if iters < 400 {
+		iters = 400
+	}
+	for it := 0; it < iters; it++ {
+		applyLazy(c, x, y)
+		orthogonalize(y, v1)
+		nrm := normalize(y)
+		x, y = y, x
+		newMu := nrm
+		if it > 40 && math.Abs(newMu-mu) < 1e-12 {
+			mu = newMu
+			break
+		}
+		mu = newMu
+	}
+	// mu approximates the top eigenvalue of M restricted to v1-perp, i.e.
+	// (1+lambda2)/2; gap = 1-lambda2 = 2(1-mu).
+	gap := 2 * (1 - mu)
+	if gap < 0 {
+		gap = 0
+	}
+	return gap
+}
+
+// applyLazy computes y = (x + N x)/2 in CSR form.
+func applyLazy(c *graph.CSR, x, y []float64) {
+	n := len(c.IDs)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		di := c.Deg[i]
+		if di > 0 {
+			si := math.Sqrt(di)
+			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+				j := int(c.Adj[k])
+				dj := c.Deg[j]
+				if dj > 0 {
+					sum += c.Wt[k] * x[j] / (si * math.Sqrt(dj))
+				}
+			}
+		}
+		y[i] = (x[i] + sum) / 2
+	}
+}
+
+func orthogonalize(x, v []float64) {
+	dot := 0.0
+	for i := range x {
+		dot += x[i] * v[i]
+	}
+	for i := range x {
+		x[i] -= dot * v[i]
+	}
+}
+
+func normalize(x []float64) float64 {
+	nrm := 0.0
+	for _, xi := range x {
+		nrm += xi * xi
+	}
+	nrm = math.Sqrt(nrm)
+	if nrm > 0 {
+		for i := range x {
+			x[i] /= nrm
+		}
+	}
+	return nrm
+}
+
+// FiedlerVector returns the eigenvector for the second-largest eigenvalue
+// of N together with the node ordering it refers to. For graphs above
+// DenseLimit it uses deflated power iteration; below, the dense solver.
+// The vector's sign structure separates the sparsest-cut sides, which the
+// adaptive adversary exploits (experiment GAP).
+func FiedlerVector(g *graph.Graph) ([]float64, []graph.NodeID) {
+	c := g.ToCSR()
+	n := len(c.IDs)
+	if n == 0 {
+		return nil, nil
+	}
+	if n <= DenseLimit {
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+				j := int(c.Adj[k])
+				if c.Deg[i] > 0 && c.Deg[j] > 0 {
+					a[i][j] = c.Wt[k] / math.Sqrt(c.Deg[i]*c.Deg[j])
+				}
+			}
+		}
+		vals, vecs := JacobiEigen(a)
+		// Pick the column with the second-largest eigenvalue.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(x, y int) bool { return vals[idx[x]] > vals[idx[y]] })
+		col := idx[0]
+		if n > 1 {
+			col = idx[1]
+		}
+		vec := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vec[i] = vecs[i][col]
+		}
+		return vec, c.IDs
+	}
+	// Iterative: same deflated power iteration as GapIterative but return
+	// the vector.
+	v1 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v1[i] = math.Sqrt(c.Deg[i])
+	}
+	normalize(v1)
+	x := make([]float64, n)
+	s := uint64(0x2545f4914f6cdd1d)
+	for i := range x {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		x[i] = float64(s%2048)/1024 - 1
+	}
+	orthogonalize(x, v1)
+	normalize(x)
+	y := make([]float64, n)
+	iters := 60 * int(math.Ceil(math.Log2(float64(n+2))))
+	for it := 0; it < iters; it++ {
+		applyLazy(c, x, y)
+		orthogonalize(y, v1)
+		normalize(y)
+		x, y = y, x
+	}
+	return x, c.IDs
+}
+
+// ConductanceOfSet returns the conductance phi(S) = |E(S, S-bar)| /
+// min(vol(S), vol(S-bar)) where vol is the sum of multigraph degrees.
+// Returns +Inf for empty or full S.
+func ConductanceOfSet(g *graph.Graph, set map[graph.NodeID]bool) float64 {
+	volS, volT := 0.0, 0.0
+	cut := 0.0
+	for _, u := range g.Nodes() {
+		d := float64(g.Degree(u))
+		if set[u] {
+			volS += d
+		} else {
+			volT += d
+		}
+	}
+	if volS == 0 || volT == 0 {
+		return math.Inf(1)
+	}
+	for _, e := range g.Edges() {
+		if e.U != e.V && set[e.U] != set[e.V] {
+			cut += float64(e.Mult)
+		}
+	}
+	return cut / math.Min(volS, volT)
+}
+
+// ExpansionOfSet returns the paper's Definition 5 quantity
+// |E(S, S-bar)| / |S| for the given S (no size restriction applied).
+func ExpansionOfSet(g *graph.Graph, set map[graph.NodeID]bool) float64 {
+	if len(set) == 0 {
+		return math.Inf(1)
+	}
+	cut := 0.0
+	for _, e := range g.Edges() {
+		if e.U != e.V && set[e.U] != set[e.V] {
+			cut += float64(e.Mult)
+		}
+	}
+	return cut / float64(len(set))
+}
+
+// SweepCut scans the Fiedler ordering and returns the prefix set with the
+// smallest conductance, along with that conductance. This is the standard
+// Cheeger rounding and upper-bounds the true conductance.
+func SweepCut(g *graph.Graph) (map[graph.NodeID]bool, float64) {
+	vec, ids := FiedlerVector(g)
+	n := len(ids)
+	if n < 2 {
+		return nil, math.Inf(1)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vec[order[a]] < vec[order[b]] })
+
+	deg := make(map[graph.NodeID]float64, n)
+	totalVol := 0.0
+	for _, u := range ids {
+		d := float64(g.Degree(u))
+		deg[u] = d
+		totalVol += d
+	}
+	inS := make(map[graph.NodeID]bool, n)
+	volS := 0.0
+	cut := 0.0
+	best := math.Inf(1)
+	bestK := 0
+	for k := 0; k < n-1; k++ {
+		u := ids[order[k]]
+		inS[u] = true
+		volS += deg[u]
+		// Update cut: edges from u to S leave the cut, edges to outside join.
+		for _, v := range g.Neighbors(u) {
+			if v == u {
+				continue
+			}
+			m := float64(g.Multiplicity(u, v))
+			if inS[v] {
+				cut -= m
+			} else {
+				cut += m
+			}
+		}
+		denom := math.Min(volS, totalVol-volS)
+		if denom > 0 {
+			if phi := cut / denom; phi < best {
+				best = phi
+				bestK = k + 1
+			}
+		}
+	}
+	bestSet := make(map[graph.NodeID]bool, bestK)
+	for k := 0; k < bestK; k++ {
+		bestSet[ids[order[k]]] = true
+	}
+	return bestSet, best
+}
+
+// EdgeExpansionExact computes h(G) = min_{|S| <= n/2} |E(S,S-bar)|/|S| by
+// exhaustive enumeration. It panics for graphs with more than 24 nodes;
+// intended for ground-truth verification in tests.
+func EdgeExpansionExact(g *graph.Graph) float64 {
+	ids := g.Nodes()
+	n := len(ids)
+	if n > 24 {
+		panic("spectral: EdgeExpansionExact limited to 24 nodes")
+	}
+	if n < 2 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<uint(n)-1; mask++ {
+		size := 0
+		for b := 0; b < n; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				size++
+			}
+		}
+		if size > n/2 {
+			continue
+		}
+		set := make(map[graph.NodeID]bool, size)
+		for b := 0; b < n; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				set[ids[b]] = true
+			}
+		}
+		if h := ExpansionOfSet(g, set); h < best {
+			best = h
+		}
+	}
+	return best
+}
+
+// ConductanceExact computes min-conductance by exhaustive enumeration for
+// graphs up to 24 nodes (test ground truth for the Cheeger sandwich).
+func ConductanceExact(g *graph.Graph) float64 {
+	ids := g.Nodes()
+	n := len(ids)
+	if n > 24 {
+		panic("spectral: ConductanceExact limited to 24 nodes")
+	}
+	if n < 2 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<uint(n)-1; mask++ {
+		set := make(map[graph.NodeID]bool)
+		for b := 0; b < n; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				set[ids[b]] = true
+			}
+		}
+		if phi := ConductanceOfSet(g, set); phi < best {
+			best = phi
+		}
+	}
+	return best
+}
+
+// WalkDistribution returns the probability distribution of a
+// multiplicity-weighted random walk on g after the given number of steps,
+// starting from src. Used by the walk-concentration experiment (FIG-W).
+func WalkDistribution(g *graph.Graph, src graph.NodeID, steps int) map[graph.NodeID]float64 {
+	c := g.ToCSR()
+	n := len(c.IDs)
+	cur := make([]float64, n)
+	i0, ok := c.Index[src]
+	if !ok {
+		return nil
+	}
+	cur[i0] = 1
+	next := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			if cur[i] == 0 || c.Deg[i] == 0 {
+				continue
+			}
+			p := cur[i] / c.Deg[i]
+			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+				next[c.Adj[k]] += p * c.Wt[k]
+			}
+		}
+		cur, next = next, cur
+	}
+	out := make(map[graph.NodeID]float64, n)
+	for i, id := range c.IDs {
+		out[id] = cur[i]
+	}
+	return out
+}
+
+// TotalVariationFromStationary returns the TV distance between dist and
+// the stationary distribution pi(x) = d_x / 2|E| of the weighted walk.
+func TotalVariationFromStationary(g *graph.Graph, dist map[graph.NodeID]float64) float64 {
+	total := 0.0
+	for _, u := range g.Nodes() {
+		total += float64(g.Degree(u))
+	}
+	tv := 0.0
+	for _, u := range g.Nodes() {
+		pi := float64(g.Degree(u)) / total
+		tv += math.Abs(dist[u] - pi)
+	}
+	return tv / 2
+}

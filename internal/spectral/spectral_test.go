@@ -1,0 +1,305 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func completeGraph(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	return g
+}
+
+func cycleGraph(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return g
+}
+
+func randomRegularish(n, d int, seed int64) *graph.Graph {
+	// Union of d/2 random perfect matchings on a cycle base: connected and
+	// near-regular, a good expander whp.
+	rng := rand.New(rand.NewSource(seed))
+	g := cycleGraph(n)
+	for r := 0; r < d/2; r++ {
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[i+1]))
+		}
+	}
+	return g
+}
+
+func TestJacobiKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := [][]float64{{2, 1}, {1, 2}}
+	vals, vecs := JacobiEigen(a)
+	got := []float64{vals[0], vals[1]}
+	if got[0] < got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if math.Abs(got[0]-3) > 1e-10 || math.Abs(got[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues = %v", got)
+	}
+	// Columns orthonormal.
+	dot := vecs[0][0]*vecs[0][1] + vecs[1][0]*vecs[1][1]
+	if math.Abs(dot) > 1e-10 {
+		t.Fatalf("eigenvectors not orthogonal: %v", dot)
+	}
+}
+
+func TestNormalizedEigenvaluesComplete(t *testing.T) {
+	// K_n normalized adjacency has eigenvalues 1 and -1/(n-1) (n-1 times).
+	const n = 8
+	ev := NormalizedEigenvalues(completeGraph(n))
+	if math.Abs(ev[0]-1) > 1e-9 {
+		t.Fatalf("lambda1 = %v", ev[0])
+	}
+	for i := 1; i < n; i++ {
+		if math.Abs(ev[i]+1.0/(n-1)) > 1e-9 {
+			t.Fatalf("lambda%d = %v, want %v", i+1, ev[i], -1.0/(n-1))
+		}
+	}
+}
+
+func TestGapCycleMatchesClosedForm(t *testing.T) {
+	// C_n normalized eigenvalues are cos(2*pi*k/n); gap = 1 - cos(2*pi/n).
+	for _, n := range []int{4, 7, 12, 40} {
+		want := 1 - math.Cos(2*math.Pi/float64(n))
+		got := GapDense(cycleGraph(n))
+		if math.Abs(got-want) > 1e-8 {
+			t.Fatalf("C_%d gap = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestGapDisconnected(t *testing.T) {
+	g := graph.New()
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if gap := GapDense(g); gap > 1e-9 {
+		t.Fatalf("disconnected gap = %v, want 0", gap)
+	}
+}
+
+func TestGapIterativeMatchesDense(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := randomRegularish(120, 4, seed)
+		dense := GapDense(g)
+		iter := GapIterative(g)
+		if math.Abs(dense-iter) > 5e-3 {
+			t.Fatalf("seed %d: dense gap %v vs iterative %v", seed, dense, iter)
+		}
+	}
+}
+
+func hypercube(k uint) *graph.Graph {
+	g := graph.New()
+	n := 1 << k
+	for i := 0; i < n; i++ {
+		for b := uint(0); b < k; b++ {
+			j := i ^ (1 << b)
+			if i < j {
+				g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+func TestGapIterativeHypercubeClosedForm(t *testing.T) {
+	// Q_k (above DenseLimit for k=10) has normalized eigenvalues
+	// (k-2i)/k, so lambda2 = (k-2)/k and gap = 2/k.
+	const k = 10
+	want := 2.0 / k
+	got := Gap(hypercube(k))
+	if math.Abs(got-want) > 1e-4 {
+		t.Fatalf("Q_%d iterative gap = %v, want %v", k, got, want)
+	}
+}
+
+func TestGapIterativeDetectsPoorExpansion(t *testing.T) {
+	// A long cycle has a vanishing gap; power iteration may not fully
+	// converge in the nearly-degenerate spectrum but must still report a
+	// near-zero gap rather than an expander-sized one.
+	if gap := Gap(cycleGraph(600)); gap > 5e-3 {
+		t.Fatalf("C_600 gap = %v, want < 5e-3", gap)
+	}
+}
+
+func TestContractionDoesNotShrinkGap(t *testing.T) {
+	// Lemma 10 / Lemma 1: quotient gap >= original gap.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomRegularish(40, 4, seed)
+		groups := make(map[graph.NodeID]graph.NodeID)
+		for _, u := range g.Nodes() {
+			groups[u] = graph.NodeID(rng.Intn(20))
+		}
+		q := g.Quotient(func(u graph.NodeID) graph.NodeID { return groups[u] })
+		return GapDense(q) >= GapDense(g)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheegerSandwich(t *testing.T) {
+	// (1-lambda2)/2 <= phi(G) <= sqrt(2(1-lambda2)) for the exact
+	// min-conductance, on small regular-ish graphs (Theorem 2).
+	for _, seed := range []int64{1, 5, 9} {
+		g := randomRegularish(12, 4, seed)
+		gap := GapDense(g)
+		phi := ConductanceExact(g)
+		if phi < gap/2-1e-9 {
+			t.Fatalf("seed %d: phi=%v < gap/2=%v", seed, phi, gap/2)
+		}
+		if phi > math.Sqrt(2*gap)+1e-9 {
+			t.Fatalf("seed %d: phi=%v > sqrt(2*gap)=%v", seed, phi, math.Sqrt(2*gap))
+		}
+	}
+}
+
+func TestSweepCutUpperBoundsExact(t *testing.T) {
+	for _, seed := range []int64{2, 4} {
+		g := randomRegularish(14, 4, seed)
+		exact := ConductanceExact(g)
+		_, sweep := SweepCut(g)
+		if sweep < exact-1e-9 {
+			t.Fatalf("sweep %v below exact minimum %v", sweep, exact)
+		}
+		if sweep > math.Inf(1) {
+			t.Fatal("sweep returned no cut")
+		}
+	}
+}
+
+func TestSweepCutFindsPlantedBottleneck(t *testing.T) {
+	// Two K8 cliques joined by one edge: sweep cut should find a
+	// conductance close to the single bridge edge.
+	g := graph.New()
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			g.AddEdge(graph.NodeID(i+8), graph.NodeID(j+8))
+		}
+	}
+	g.AddEdge(0, 8)
+	set, phi := SweepCut(g)
+	if len(set) != 8 {
+		t.Fatalf("sweep set size = %d, want 8", len(set))
+	}
+	if phi > 0.02 {
+		t.Fatalf("sweep conductance = %v, want small", phi)
+	}
+}
+
+func TestExpansionOfSet(t *testing.T) {
+	g := cycleGraph(8)
+	set := map[graph.NodeID]bool{0: true, 1: true, 2: true, 3: true}
+	if h := ExpansionOfSet(g, set); math.Abs(h-0.5) > 1e-12 {
+		t.Fatalf("expansion = %v, want 0.5", h)
+	}
+	if !math.IsInf(ExpansionOfSet(g, nil), 1) {
+		t.Fatal("empty set expansion should be +Inf")
+	}
+}
+
+func TestEdgeExpansionExactCycle(t *testing.T) {
+	// C_8: best cut is a contiguous arc of 4 nodes, h = 2/4 = 0.5.
+	if h := EdgeExpansionExact(cycleGraph(8)); math.Abs(h-0.5) > 1e-12 {
+		t.Fatalf("h(C8) = %v", h)
+	}
+	// K_6: any S of size k has cut k(6-k), h = min over k<=3 of (6-k) = 3.
+	if h := EdgeExpansionExact(completeGraph(6)); math.Abs(h-3) > 1e-12 {
+		t.Fatalf("h(K6) = %v", h)
+	}
+}
+
+func TestWalkDistributionMixes(t *testing.T) {
+	g := randomRegularish(64, 6, 3)
+	d0 := WalkDistribution(g, 0, 1)
+	if math.Abs(sum(d0)-1) > 1e-9 {
+		t.Fatalf("distribution does not sum to 1: %v", sum(d0))
+	}
+	tvShort := TotalVariationFromStationary(g, WalkDistribution(g, 0, 2))
+	tvLong := TotalVariationFromStationary(g, WalkDistribution(g, 0, 40))
+	if tvLong > tvShort {
+		t.Fatalf("walk not mixing: tv(2)=%v tv(40)=%v", tvShort, tvLong)
+	}
+	if tvLong > 0.01 {
+		t.Fatalf("walk far from stationary after 40 steps: %v", tvLong)
+	}
+}
+
+func sum(m map[graph.NodeID]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func TestFiedlerVectorSeparatesCliques(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			g.AddEdge(graph.NodeID(i+6), graph.NodeID(j+6))
+		}
+	}
+	g.AddEdge(0, 6)
+	vec, ids := FiedlerVector(g)
+	signs := make(map[bool]int)
+	for i, id := range ids {
+		if id < 6 {
+			signs[vec[i] > 0]++
+		} else {
+			signs[vec[i] < 0]++
+		}
+	}
+	// All of one clique should share a sign, all of the other the opposite
+	// (one of the two consistent labelings).
+	consistent := (signs[true] == 12) || (signs[false] == 12)
+	if !consistent {
+		t.Fatalf("Fiedler vector does not separate cliques: %v / vec=%v", signs, vec)
+	}
+}
+
+func TestGapTrivialGraphs(t *testing.T) {
+	if Gap(graph.New()) != 1 {
+		t.Fatal("empty graph gap should be 1")
+	}
+	g := graph.New()
+	g.AddNode(1)
+	if Gap(g) != 1 {
+		t.Fatal("singleton gap should be 1")
+	}
+}
+
+func BenchmarkGapDense128(b *testing.B) {
+	g := randomRegularish(128, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GapDense(g)
+	}
+}
+
+func BenchmarkGapIterative4096(b *testing.B) {
+	g := randomRegularish(4096, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GapIterative(g)
+	}
+}

@@ -1,0 +1,228 @@
+// Package stats provides the summary statistics and model fits the
+// experiment harness uses to turn per-step measurements into the paper's
+// tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary condenses a sample.
+type Summary struct {
+	Count          int
+	Mean, Max, Min float64
+	P50, P95, P99  float64
+}
+
+// Summarize computes a Summary of xs; zero value for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+		if x > s.Max {
+			s.Max = x
+		}
+		if x < s.Min {
+			s.Min = x
+		}
+	}
+	s.Mean = total / float64(len(xs))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 0.50)
+	s.P95 = Percentile(sorted, 0.95)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the q-th percentile (q in [0,1]) of an ascending
+// sorted sample using nearest-rank interpolation.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ints converts an int sample for Summarize.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// LinearFit fits y = a + b*x by least squares and returns a, b and the
+// coefficient of determination R^2.
+func LinearFit(x, y []float64) (a, b, r2 float64) {
+	n := float64(len(x))
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return a, b, 1
+	}
+	ssRes := 0.0
+	for i := range x {
+		d := y[i] - (a + b*x[i])
+		ssRes += d * d
+	}
+	return a, b, 1 - ssRes/ssTot
+}
+
+// LogScalingExponent fits y = a + b*log2(n) and additionally
+// y = a' + e*log2(n) in log-log space (log2 y = a' + e*log2 n), returning
+// the linear-in-log slope b and the power-law exponent e. For a quantity
+// that is Theta(log n), e tends to 0..0.6 across practical ranges while a
+// Theta(n) quantity has e near 1.
+func LogScalingExponent(ns []float64, ys []float64) (slopePerLogN, powerExponent float64) {
+	lx := make([]float64, len(ns))
+	ly := make([]float64, len(ns))
+	for i := range ns {
+		lx[i] = math.Log2(ns[i])
+		ly[i] = math.Log2(math.Max(ys[i], 1e-9))
+	}
+	_, b, _ := LinearFit(lx, ys)
+	_, e, _ := LinearFit(lx, ly)
+	return b, e
+}
+
+// Histogram bins xs into k equal-width buckets over [min,max] and
+// renders an ASCII sketch.
+func Histogram(xs []float64, k int) string {
+	if len(xs) == 0 || k < 1 {
+		return "(empty)"
+	}
+	s := Summarize(xs)
+	width := (s.Max - s.Min) / float64(k)
+	if width == 0 {
+		return fmt.Sprintf("all values = %g (n=%d)", s.Min, s.Count)
+	}
+	counts := make([]int, k)
+	for _, x := range xs {
+		i := int((x - s.Min) / width)
+		if i >= k {
+			i = k - 1
+		}
+		counts[i]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range counts {
+		bar := strings.Repeat("#", int(40*float64(c)/float64(maxC)))
+		fmt.Fprintf(&sb, "%10.2f..%-10.2f %6d %s\n", s.Min+float64(i)*width, s.Min+float64(i+1)*width, c, bar)
+	}
+	return sb.String()
+}
+
+// Table renders rows as an aligned ASCII table with a header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddF appends a row formatting each value with %v.
+func (t *Table) AddF(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(t.Header) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Header, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

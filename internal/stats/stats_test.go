@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if p := Percentile(sorted, 0); p != 10 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(sorted, 1); p != 40 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(sorted, 0.5); math.Abs(p-25) > 1e-12 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 3 + 2x
+	a, b, r2 := LinearFit(x, y)
+	if math.Abs(a-3) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("fit = %v %v %v", a, b, r2)
+	}
+	if a, _, _ := LinearFit([]float64{1}, []float64{2}); !math.IsNaN(a) {
+		t.Fatal("underdetermined fit should be NaN")
+	}
+}
+
+func TestLogScalingExponentSeparatesShapes(t *testing.T) {
+	ns := []float64{256, 512, 1024, 2048, 4096}
+	logCost := make([]float64, len(ns))
+	linCost := make([]float64, len(ns))
+	for i, n := range ns {
+		logCost[i] = 12 * math.Log2(n)
+		linCost[i] = 3 * n
+	}
+	_, eLog := LogScalingExponent(ns, logCost)
+	_, eLin := LogScalingExponent(ns, linCost)
+	if eLog > 0.5 {
+		t.Fatalf("log-shaped cost measured exponent %v", eLog)
+	}
+	if eLin < 0.9 {
+		t.Fatalf("linear-shaped cost measured exponent %v", eLin)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{1, 1, 2, 3, 3, 3}, 3)
+	if !strings.Contains(h, "#") {
+		t.Fatalf("histogram missing bars:\n%s", h)
+	}
+	if Histogram(nil, 3) != "(empty)" {
+		t.Fatal("empty histogram")
+	}
+	if !strings.Contains(Histogram([]float64{2, 2}, 3), "all values") {
+		t.Fatal("constant histogram")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.Add("alpha", "1")
+	tb.AddF("beta", 2.5)
+	s := tb.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "2.50") {
+		t.Fatalf("table:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestSummarizeQuickMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.P50 >= s.Min && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInts(t *testing.T) {
+	out := Ints([]int{1, 2})
+	if len(out) != 2 || out[1] != 2 {
+		t.Fatalf("Ints = %v", out)
+	}
+}
