@@ -12,7 +12,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/core"
+	"repro/dex"
 	"repro/internal/dht"
 	"repro/internal/experiments"
 	"repro/internal/flipgraph"
@@ -24,15 +24,13 @@ import (
 	"repro/internal/spectral"
 )
 
-func dexNet(b *testing.B, n0 int, mode core.RecoveryMode) harness.DexMaintainer {
+func dexNet(b *testing.B, n0 int, mode dex.Mode) *dex.Network {
 	b.Helper()
-	cfg := core.DefaultConfig()
-	cfg.Mode = mode
-	nw, err := core.New(n0, cfg)
+	nw, err := dex.New(dex.WithInitialSize(n0), dex.WithMode(mode))
 	if err != nil {
 		b.Fatal(err)
 	}
-	return harness.DexMaintainer{Network: nw}
+	return nw
 }
 
 // churnSteps drives b.N random-churn steps and reports the Table 1 cost
@@ -61,7 +59,7 @@ func churnSteps(b *testing.B, m harness.Maintainer, seed int64) {
 // --- T1: Table 1 -------------------------------------------------------------
 
 func BenchmarkTable1_DEX(b *testing.B) {
-	churnSteps(b, dexNet(b, 256, core.Staggered), 1)
+	churnSteps(b, dexNet(b, 256, dex.Staggered), 1)
 }
 
 func BenchmarkTable1_LawSiu(b *testing.B) {
@@ -104,7 +102,7 @@ func BenchmarkFig1_Reproduction(b *testing.B) {
 func BenchmarkThm1_RoundsScaling(b *testing.B) {
 	for _, n := range []int{256, 1024, 4096} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			churnSteps(b, dexNet(b, n, core.Staggered), 2)
+			churnSteps(b, dexNet(b, n, dex.Staggered), 2)
 		})
 	}
 }
@@ -113,7 +111,7 @@ func BenchmarkThm1_MessagesScaling(b *testing.B) {
 	// Same sweep, insert-biased so inflations occur.
 	for _, n := range []int{256, 1024, 4096} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			m := dexNet(b, n, core.Staggered)
+			m := dexNet(b, n, dex.Staggered)
 			rng := rand.New(rand.NewSource(3))
 			var msgs float64
 			b.ResetTimer()
@@ -130,7 +128,7 @@ func BenchmarkThm1_MessagesScaling(b *testing.B) {
 }
 
 func BenchmarkThm1_TopologyChanges(b *testing.B) {
-	m := dexNet(b, 1024, core.Staggered)
+	m := dexNet(b, 1024, dex.Staggered)
 	rng := rand.New(rand.NewSource(4))
 	adv := harness.RandomChurn{PInsert: 0.5}
 	var topo, maxTopo float64
@@ -152,7 +150,7 @@ func BenchmarkThm1_TopologyChanges(b *testing.B) {
 // --- GAP: spectral gap series --------------------------------------------------
 
 func BenchmarkFig_SpectralGapSeries(b *testing.B) {
-	m := dexNet(b, 96, core.Staggered)
+	m := dexNet(b, 96, dex.Staggered)
 	adv := &harness.CutThinning{}
 	rng := rand.New(rand.NewSource(5))
 	minGap := 1.0
@@ -173,7 +171,7 @@ func BenchmarkFig_SpectralGapSeries(b *testing.B) {
 // --- AMORT: Corollary 1 ---------------------------------------------------------
 
 func BenchmarkCor1_AmortizedSimplified(b *testing.B) {
-	m := dexNet(b, 64, core.Simplified)
+	m := dexNet(b, 64, dex.Simplified)
 	rng := rand.New(rand.NewSource(6))
 	var rounds, msgs float64
 	rebuilds := 0
@@ -192,7 +190,7 @@ func BenchmarkCor1_AmortizedSimplified(b *testing.B) {
 		st := m.LastStep()
 		rounds += float64(st.Rounds)
 		msgs += float64(st.Messages)
-		if st.Recovery != core.RecoveryType1 {
+		if st.Recovery != dex.RecoveryType1 {
 			rebuilds++
 		}
 	}
@@ -204,7 +202,7 @@ func BenchmarkCor1_AmortizedSimplified(b *testing.B) {
 // --- BAL: load bounds (Lemmas 3/5/9) --------------------------------------------
 
 func BenchmarkBal_LoadBound(b *testing.B) {
-	m := dexNet(b, 128, core.Staggered)
+	m := dexNet(b, 128, dex.Staggered)
 	rng := rand.New(rand.NewSource(7))
 	adv := harness.RandomChurn{PInsert: 0.5}
 	maxLoad := 0
@@ -225,8 +223,8 @@ func BenchmarkBal_LoadBound(b *testing.B) {
 func BenchmarkDHT_Ops(b *testing.B) {
 	for _, n := range []int{256, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			m := dexNet(b, n, core.Staggered)
-			d := dht.New(m.Network)
+			m := dexNet(b, n, dex.Staggered)
+			d := dht.New(m)
 			rng := rand.New(rand.NewSource(8))
 			var msgs float64
 			b.ResetTimer()
@@ -245,7 +243,7 @@ func BenchmarkDHT_Ops(b *testing.B) {
 // --- MULTI: Corollary 2 ------------------------------------------------------------
 
 func BenchmarkCor2_BatchChurn(b *testing.B) {
-	m := dexNet(b, 256, core.Simplified)
+	m := dexNet(b, 256, dex.Simplified)
 	rng := rand.New(rand.NewSource(9))
 	var msgs float64
 	batches := 0
@@ -260,10 +258,10 @@ func BenchmarkCor2_BatchChurn(b *testing.B) {
 		// streak of rejected (model-illegal) delete batches cannot
 		// compound the network size across a long benchmark run.
 		if (i%2 == 0 || n < 128) && n < 512 {
-			var specs []core.InsertSpec
+			var specs []dex.InsertSpec
 			nodes := m.Nodes()
 			for j := 0; j < k; j++ {
-				specs = append(specs, core.InsertSpec{ID: m.FreshID(), Attach: nodes[rng.Intn(len(nodes))]})
+				specs = append(specs, dex.InsertSpec{ID: m.FreshID(), Attach: nodes[rng.Intn(len(nodes))]})
 			}
 			if err := m.InsertBatch(specs); err != nil {
 				b.Fatal(err)

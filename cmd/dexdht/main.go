@@ -1,6 +1,7 @@
 // Command dexdht demonstrates the Section 4.4.4 distributed hash table
 // on a DEX overlay surviving churn, including full virtual-graph
-// rebuilds.
+// rebuilds. A second event subscriber (a metrics collector) watches the
+// same network to show the multi-subscriber API.
 //
 // Usage:
 //
@@ -13,7 +14,7 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/dex"
 	"repro/internal/dht"
 	"repro/internal/stats"
 )
@@ -27,13 +28,22 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
-	nw, err := core.New(*n0, cfg)
+	nw, err := dex.New(dex.WithInitialSize(*n0), dex.WithSeed(*seed))
 	if err != nil {
 		log.Fatal(err)
 	}
 	table := dht.New(nw)
+	// Independent observer of the same network: counts structural events
+	// alongside the DHT without interfering with it.
+	transfers, rebuilds := 0, 0
+	defer nw.Subscribe(func(ev dex.Event) {
+		switch ev.(type) {
+		case dex.VertexTransferred:
+			transfers++
+		case dex.GraphRebuilt:
+			rebuilds++
+		}
+	})()
 	rng := rand.New(rand.NewSource(*seed))
 
 	var putCosts []float64
@@ -59,6 +69,10 @@ func main() {
 	}
 	fmt.Printf("churned %d steps: n=%d p=%d, %d virtual-graph rebuilds, %d migration messages\n",
 		*churn, nw.Size(), nw.P(), table.Rehashes, table.MigrationMessages)
+	fmt.Printf("second subscriber saw %d vertex transfers and %d rebuilds\n", transfers, rebuilds)
+	if rebuilds != table.Rehashes {
+		log.Fatalf("subscribers disagree: metrics saw %d rebuilds, DHT saw %d", rebuilds, table.Rehashes)
+	}
 
 	var getCosts []float64
 	lost := 0

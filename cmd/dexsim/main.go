@@ -14,7 +14,7 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/core"
+	"repro/dex"
 	"repro/internal/harness"
 	"repro/internal/spectral"
 	"repro/internal/stats"
@@ -34,18 +34,20 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
+	recovery := dex.Staggered
 	if *mode == "simplified" {
-		cfg.Mode = core.Simplified
+		recovery = dex.Simplified
 	} else if *mode != "staggered" {
 		log.Fatalf("unknown mode %q", *mode)
 	}
-	nw, err := core.New(*n0, cfg)
+	nw, err := dex.New(
+		dex.WithInitialSize(*n0),
+		dex.WithMode(recovery),
+		dex.WithSeed(*seed),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := harness.DexMaintainer{Network: nw}
 
 	var adv harness.Adversary
 	switch *advName {
@@ -66,9 +68,9 @@ func main() {
 	}
 
 	fmt.Printf("DEX self-healing expander: n0=%d p0=%d mode=%s adversary=%s\n",
-		*n0, nw.P(), cfg.Mode, adv.Name())
-	recs, err := harness.Run(m, adv, harness.RunConfig{
-		Steps: *steps, Seed: *seed, GapEvery: *gapEvery, AuditDex: *audit,
+		*n0, nw.P(), recovery, adv.Name())
+	recs, err := harness.Run(nw, adv, harness.RunConfig{
+		Steps: *steps, Seed: *seed, GapEvery: *gapEvery, Audit: *audit,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -95,10 +97,10 @@ func main() {
 	}
 	inflations, deflations := 0, 0
 	for _, s := range nw.History() {
-		if s.StaggerStarted || s.Recovery == core.RecoveryInflate {
+		if s.StaggerStarted || s.Recovery == dex.RecoveryInflate {
 			inflations++
 		}
-		if s.Recovery == core.RecoveryDeflate {
+		if s.Recovery == dex.RecoveryDeflate {
 			deflations++
 		}
 	}

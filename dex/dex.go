@@ -1,0 +1,294 @@
+// Package dex is the public, stable API of this repository's
+// reproduction of "DEX: Self-Healing Expanders" (Pandurangan, Robinson,
+// Trehan; IPPS 2014).
+//
+// A dex.Network maintains an overlay graph that stays a constant-degree
+// expander under fully adversarial node insertions and deletions: the
+// real graph G_t is the vertex contraction of a virtual p-cycle expander
+// Z(p) under a balanced mapping, and every churn operation triggers the
+// paper's type-1 (random-walk rebalancing) and type-2
+// (inflation/deflation rebuild) recovery procedures, at O(log n) rounds
+// and messages and O(1) topology changes per operation (Theorem 1).
+//
+// Construction uses functional options:
+//
+//	nw, err := dex.New(
+//		dex.WithInitialSize(64),
+//		dex.WithMode(dex.Staggered),
+//		dex.WithSeed(42),
+//	)
+//
+// Churn it with Insert/Delete (or InsertBatch/DeleteBatch for
+// Corollary 2's multi-operation steps), inspect per-step costs with
+// History/LastStep/LastCost, and verify the paper's invariants at any
+// point with CheckInvariants.
+//
+// Multiple independent observers — DHTs, metrics collectors, loggers —
+// can watch one network through the typed event stream:
+//
+//	cancel := nw.Subscribe(func(ev dex.Event) {
+//		if r, ok := ev.(dex.GraphRebuilt); ok {
+//			log.Printf("rebuilt: p %d -> %d", r.OldP, r.NewP)
+//		}
+//	})
+//	defer cancel()
+//
+// Concurrency contract: a Network is single-goroutine. All methods,
+// including Subscribe and the delivery of events (which happens
+// synchronously, on the goroutine that called the mutating method), must
+// be serialized by the caller. This is the documented contract of the
+// current implementation; a concurrent façade is a planned follow-up
+// (see ROADMAP.md).
+package dex
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pcycle"
+)
+
+// Vertex is a virtual vertex of the p-cycle expander Z(p).
+type Vertex = core.Vertex
+
+// NodeID identifies a real node of the overlay network.
+type NodeID = core.NodeID
+
+// Graph is the adjacency-multiset overlay graph type; the value returned
+// by (*Network).Graph is live and must be treated as read-only.
+type Graph = graph.Graph
+
+// Cycle is the virtual p-cycle expander Z(p).
+type Cycle = pcycle.Cycle
+
+// StepMetrics records the paper's cost measures (rounds, messages,
+// topology changes) plus recovery metadata for one adversarial step.
+type StepMetrics = core.StepMetrics
+
+// InsertSpec names one batch-inserted node and its adversarial attach
+// point (Corollary 2).
+type InsertSpec = core.InsertSpec
+
+// OpKind identifies the adversarial operation that triggered a step.
+type OpKind = core.OpKind
+
+// Operation kinds recorded in StepMetrics.Op.
+const (
+	OpInsert      = core.OpInsert
+	OpDelete      = core.OpDelete
+	OpBatchInsert = core.OpBatchInsert
+	OpBatchDelete = core.OpBatchDelete
+)
+
+// RecoveryKind identifies which recovery path handled a step.
+type RecoveryKind = core.RecoveryKind
+
+// Recovery kinds recorded in StepMetrics.Recovery.
+const (
+	RecoveryType1   = core.RecoveryType1
+	RecoveryInflate = core.RecoveryInflate
+	RecoveryDeflate = core.RecoveryDeflate
+)
+
+// Sentinel errors. They are the same values the engine returns, so
+// errors.Is works across the package boundary:
+//
+//	if errors.Is(err, dex.ErrDuplicateID) { ... }
+var (
+	// ErrUnknownNode reports an operation naming a node that is not in
+	// the network.
+	ErrUnknownNode = core.ErrUnknownNode
+	// ErrDuplicateID reports an insertion reusing a live node id.
+	ErrDuplicateID = core.ErrDuplicateID
+	// ErrTooSmall reports a deletion that would shrink the network below
+	// the 4-node floor of the paper's construction.
+	ErrTooSmall = core.ErrTooSmall
+)
+
+// Network is a DEX-maintained self-healing overlay. Construct it with
+// New; the zero value is not usable.
+type Network struct {
+	eng   *core.Network
+	audit bool
+	lastP int64
+
+	subs     []subscriber
+	subsSnap []subscriber // cached delivery snapshot; nil after (un)subscribe
+	nextSub  int
+}
+
+// New builds an initial DEX network, mapped onto Z(p0) for the smallest
+// prime p0 in (4*n0, 8*n0) exactly as Section 4's initialization
+// prescribes. Defaults (initial size 64, zeta 8, theta 1/64, staggered
+// type-2 recovery, seed 1) match the paper's experiments; override them
+// with options.
+func New(opts ...Option) (*Network, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.err != nil {
+		return nil, o.err
+	}
+	eng, err := core.New(o.initialSize, o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if o.rng != nil {
+		eng.SetRNG(o.rng)
+	}
+	nw := &Network{eng: eng, audit: o.audit, lastP: eng.P()}
+	eng.SetTransferObserver(func(x Vertex, from, to NodeID) {
+		nw.publish(VertexTransferred{Vertex: x, From: from, To: to})
+	})
+	eng.SetRebuildObserver(func(pNew int64) {
+		nw.publish(GraphRebuilt{OldP: nw.lastP, NewP: pNew})
+		nw.lastP = pNew
+	})
+	return nw, nil
+}
+
+// afterOp publishes the stagger edge events of the step that just ran
+// and, under WithAudit, checks every paper invariant.
+func (nw *Network) afterOp() error {
+	st := nw.eng.LastStep()
+	if st.StaggerStarted {
+		nw.publish(StaggerStarted{Step: st.Step, N: st.N, P: st.P})
+	}
+	if st.StaggerFinished {
+		nw.publish(StaggerFinished{Step: st.Step, N: st.N, P: st.P})
+	}
+	if nw.audit {
+		if err := nw.eng.CheckInvariants(); err != nil {
+			return fmt.Errorf("dex: audit after %s: %w", st.Op, err)
+		}
+	}
+	return nil
+}
+
+// --- churn operations ------------------------------------------------------
+
+// Insert adds node id attached at node attach (the adversary picks
+// both) and runs recovery. It returns ErrDuplicateID or ErrUnknownNode
+// on illegal arguments.
+func (nw *Network) Insert(id, attach NodeID) error {
+	if err := nw.eng.Insert(id, attach); err != nil {
+		return err
+	}
+	return nw.afterOp()
+}
+
+// Delete removes node id and runs recovery. It returns ErrUnknownNode
+// for absent ids and ErrTooSmall when the network is at its minimum
+// size.
+func (nw *Network) Delete(id NodeID) error {
+	if err := nw.eng.Delete(id); err != nil {
+		return err
+	}
+	return nw.afterOp()
+}
+
+// InsertBatch performs one adversarial step inserting all specs at once
+// (Corollary 2; at most a constant number of members may attach to any
+// single node).
+func (nw *Network) InsertBatch(specs []InsertSpec) error {
+	if err := nw.eng.InsertBatch(specs); err != nil {
+		return err
+	}
+	return nw.afterOp()
+}
+
+// DeleteBatch performs one adversarial step deleting all ids at once.
+// The batch must leave the remainder connected and every deleted node
+// with a surviving neighbor, per the paper's deletion model.
+func (nw *Network) DeleteBatch(ids []NodeID) error {
+	if err := nw.eng.DeleteBatch(ids); err != nil {
+		return err
+	}
+	return nw.afterOp()
+}
+
+// --- inspection ------------------------------------------------------------
+
+// Size returns the current number of real nodes n.
+func (nw *Network) Size() int { return nw.eng.Size() }
+
+// P returns the current p-cycle modulus.
+func (nw *Network) P() int64 { return nw.eng.P() }
+
+// Cycle returns the current virtual graph Z(p). Treat as read-only.
+func (nw *Network) Cycle() *Cycle { return nw.eng.Cycle() }
+
+// Graph returns the live overlay graph G_t. Treat as read-only.
+func (nw *Network) Graph() *Graph { return nw.eng.Graph() }
+
+// Nodes returns the current node ids in ascending order.
+func (nw *Network) Nodes() []NodeID { return nw.eng.Nodes() }
+
+// Load returns the number of virtual vertices node u simulates
+// (current p-cycle plus, during staggering, the next one).
+func (nw *Network) Load(u NodeID) int { return nw.eng.Load(u) }
+
+// MaxLoad returns the maximum load over all nodes; Lemma 9 bounds it by
+// 4*zeta.
+func (nw *Network) MaxLoad() int { return nw.eng.MaxLoad() }
+
+// Zeta returns the configured maximum cloud size (see WithZeta); Lemma 9
+// bounds every node's load by 4*Zeta().
+func (nw *Network) Zeta() int { return nw.eng.Zeta() }
+
+// OwnerOf returns the node simulating virtual vertex x of the current
+// p-cycle.
+func (nw *Network) OwnerOf(x Vertex) NodeID { return nw.eng.OwnerOf(x) }
+
+// SomeVertexOf exposes one (the smallest) vertex simulated at u; ok is
+// false for unknown nodes.
+func (nw *Network) SomeVertexOf(u NodeID) (x Vertex, ok bool) { return nw.eng.SomeVertexOf(u) }
+
+// Coordinator returns the node currently simulating vertex 0
+// (Algorithm 4.7's rebuild coordinator).
+func (nw *Network) Coordinator() NodeID { return nw.eng.Coordinator() }
+
+// SpareCount returns |Spare| = #{u : load(u) >= 2}, the coordinator's
+// inflation counter.
+func (nw *Network) SpareCount() int { return nw.eng.SpareCount() }
+
+// LowCount returns |Low| = #{u : load(u) <= 2*zeta}, the coordinator's
+// deflation counter.
+func (nw *Network) LowCount() int { return nw.eng.LowCount() }
+
+// Rebuilding reports whether a staggered type-2 rebuild is in flight,
+// and its phase (0 when idle).
+func (nw *Network) Rebuilding() (active bool, phase int) { return nw.eng.Rebuilding() }
+
+// Dist0 returns the virtual hop distance from vertex x to vertex 0 on
+// the coordinator's BFS tree (the compact-routing metric the DHT uses).
+func (nw *Network) Dist0(x Vertex) int { return nw.eng.Dist0(x) }
+
+// History returns per-step metrics since creation.
+func (nw *Network) History() []StepMetrics { return nw.eng.History() }
+
+// LastStep returns the metrics of the most recent step (zero value
+// before any churn).
+func (nw *Network) LastStep() StepMetrics { return nw.eng.LastStep() }
+
+// LastCost returns the most recent step's cost triple, satisfying the
+// Maintainer contract.
+func (nw *Network) LastCost() Cost {
+	st := nw.eng.LastStep()
+	return Cost{Rounds: st.Rounds, Messages: st.Messages, TopologyChanges: st.TopologyChanges}
+}
+
+// OrphanRescues returns how many times the pathological drop-time
+// rescue path ran; zero in all normal operation.
+func (nw *Network) OrphanRescues() int { return nw.eng.OrphanRescues() }
+
+// FreshID returns a never-used node id and advances the internal
+// counter; adversaries may instead supply their own ids to Insert.
+func (nw *Network) FreshID() NodeID { return nw.eng.FreshID() }
+
+// CheckInvariants mechanically verifies every structural invariant of
+// the paper (balanced mapping, load bounds, contraction-consistent
+// edges, stagger bookkeeping) and returns the first violation.
+func (nw *Network) CheckInvariants() error { return nw.eng.CheckInvariants() }

@@ -1,0 +1,104 @@
+package dex
+
+// Event is a typed notification about a structural change of the
+// network. Concrete types: VertexTransferred, GraphRebuilt,
+// StaggerStarted, StaggerFinished. Subscribers switch on the dynamic
+// type:
+//
+//	nw.Subscribe(func(ev dex.Event) {
+//		switch e := ev.(type) {
+//		case dex.VertexTransferred:
+//			// vertex e.Vertex moved e.From -> e.To
+//		case dex.GraphRebuilt:
+//			// modulus changed e.OldP -> e.NewP
+//		}
+//	})
+type Event interface{ event() }
+
+// VertexTransferred reports that current-cycle virtual vertex Vertex
+// migrated from node From to node To during recovery. A DHT migrates the
+// vertex's key/value items on this event (Section 4.4.4).
+type VertexTransferred struct {
+	Vertex Vertex
+	From   NodeID
+	To     NodeID
+}
+
+// GraphRebuilt reports that the virtual graph was replaced by a type-2
+// inflation or deflation: the modulus changed from OldP to NewP. Hash
+// spaces keyed on the modulus must re-home on this event.
+type GraphRebuilt struct {
+	OldP int64
+	NewP int64
+}
+
+// StaggerStarted reports that the coordinator opened a staggered type-2
+// rebuild (Algorithm 4.7) on the step with the given metrics snapshot.
+type StaggerStarted struct {
+	Step int   // 1-based step index in History
+	N    int   // network size after the step
+	P    int64 // modulus after the step (still the old cycle's)
+}
+
+// StaggerFinished reports that a staggered rebuild committed: the new
+// cycle is live and P is the new modulus. It is always preceded by the
+// corresponding GraphRebuilt event.
+type StaggerFinished struct {
+	Step int
+	N    int
+	P    int64
+}
+
+func (VertexTransferred) event() {}
+func (GraphRebuilt) event()      {}
+func (StaggerStarted) event()    {}
+func (StaggerFinished) event()   {}
+
+// subscriber pairs a callback with a registration id so cancellation
+// survives slice reshuffling.
+type subscriber struct {
+	id int
+	fn func(Event)
+}
+
+// Subscribe registers fn to receive every future event and returns a
+// cancel function that removes the subscription (idempotent). Any
+// number of subscribers may watch one network; they are invoked
+// synchronously, in registration order, on the goroutine performing the
+// mutation that produced the event. Callbacks must not mutate the
+// network re-entrantly.
+func (nw *Network) Subscribe(fn func(Event)) (cancel func()) {
+	id := nw.nextSub
+	nw.nextSub++
+	nw.subs = append(nw.subs, subscriber{id: id, fn: fn})
+	nw.subsSnap = nil
+	return func() {
+		for i, s := range nw.subs {
+			if s.id == id {
+				nw.subs = append(nw.subs[:i], nw.subs[i+1:]...)
+				nw.subsSnap = nil
+				return
+			}
+		}
+	}
+}
+
+// Subscribers returns the number of live subscriptions.
+func (nw *Network) Subscribers() int { return len(nw.subs) }
+
+// publish delivers ev to every subscriber in registration order. It
+// iterates a snapshot so a callback cancelling itself (or a peer) does
+// not disturb the delivery round; the snapshot is cached and only
+// rebuilt after Subscribe/cancel, keeping the per-event hot path
+// (one event per migrated vertex) allocation-free.
+func (nw *Network) publish(ev Event) {
+	if len(nw.subs) == 0 {
+		return
+	}
+	if nw.subsSnap == nil {
+		nw.subsSnap = append([]subscriber(nil), nw.subs...)
+	}
+	for _, s := range nw.subsSnap {
+		s.fn(ev)
+	}
+}

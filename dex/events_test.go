@@ -1,0 +1,203 @@
+package dex_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/dex"
+)
+
+// growUntilRebuild inserts until the modulus changes (or the step budget
+// runs out, which fails the test).
+func growUntilRebuild(t *testing.T, nw *dex.Network, rng *rand.Rand, budget int) {
+	t.Helper()
+	p0 := nw.P()
+	for i := 0; i < budget && nw.P() == p0; i++ {
+		nodes := nw.Nodes()
+		if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nw.P() == p0 {
+		t.Fatalf("no rebuild within %d insertions", budget)
+	}
+}
+
+// TestEventStreamShape drives a staggered network through an inflation
+// and checks the typed event sequence: StaggerStarted opens the rebuild,
+// GraphRebuilt carries the old and new moduli, StaggerFinished closes it
+// after the corresponding GraphRebuilt.
+func TestEventStreamShape(t *testing.T) {
+	nw, err := dex.New(dex.WithInitialSize(16), dex.WithMode(dex.Staggered), dex.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := nw.P()
+	var events []dex.Event
+	cancel := nw.Subscribe(func(ev dex.Event) { events = append(events, ev) })
+	defer cancel()
+
+	growUntilRebuild(t, nw, rand.New(rand.NewSource(6)), 800)
+
+	var sawStart, sawRebuilt, sawFinish bool
+	rebuiltAt, finishedAt := -1, -1
+	for i, ev := range events {
+		switch e := ev.(type) {
+		case dex.StaggerStarted:
+			sawStart = true
+			if e.P != p0 {
+				t.Fatalf("StaggerStarted.P = %d, want old modulus %d", e.P, p0)
+			}
+			if e.N <= 0 || e.Step <= 0 {
+				t.Fatalf("StaggerStarted with empty snapshot: %+v", e)
+			}
+		case dex.GraphRebuilt:
+			sawRebuilt = true
+			rebuiltAt = i
+			if e.OldP != p0 || e.NewP == p0 {
+				t.Fatalf("GraphRebuilt moduli %d -> %d, want old %d and a new value", e.OldP, e.NewP, p0)
+			}
+			if e.NewP != nw.P() {
+				t.Fatalf("GraphRebuilt.NewP = %d, live P = %d", e.NewP, nw.P())
+			}
+		case dex.StaggerFinished:
+			sawFinish = true
+			finishedAt = i
+			if e.P != nw.P() {
+				t.Fatalf("StaggerFinished.P = %d, want new modulus %d", e.P, nw.P())
+			}
+		case dex.VertexTransferred:
+			if e.From == e.To {
+				t.Fatalf("self transfer of vertex %d at node %d", e.Vertex, e.From)
+			}
+		}
+	}
+	if !sawStart || !sawRebuilt || !sawFinish {
+		t.Fatalf("incomplete event stream: start=%v rebuilt=%v finish=%v", sawStart, sawRebuilt, sawFinish)
+	}
+	if rebuiltAt > finishedAt {
+		t.Fatalf("GraphRebuilt (index %d) after StaggerFinished (index %d)", rebuiltAt, finishedAt)
+	}
+}
+
+// TestSimplifiedModeEmitsRebuilt: one-step rebuilds have no stagger
+// phase but must still announce the modulus change.
+func TestSimplifiedModeEmitsRebuilt(t *testing.T) {
+	nw, err := dex.New(dex.WithInitialSize(16), dex.WithMode(dex.Simplified), dex.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, staggered := 0, 0
+	defer nw.Subscribe(func(ev dex.Event) {
+		switch ev.(type) {
+		case dex.GraphRebuilt:
+			rebuilt++
+		case dex.StaggerStarted, dex.StaggerFinished:
+			staggered++
+		}
+	})()
+	growUntilRebuild(t, nw, rand.New(rand.NewSource(7)), 800)
+	if rebuilt == 0 {
+		t.Fatal("simplified rebuild emitted no GraphRebuilt")
+	}
+	if staggered != 0 {
+		t.Fatalf("simplified mode emitted %d stagger events", staggered)
+	}
+}
+
+// TestSubscribeCancelAndOrder: subscribers receive events in
+// registration order; a cancelled subscriber stops receiving; a
+// subscriber cancelling itself mid-delivery does not disturb the round.
+func TestSubscribeCancelAndOrder(t *testing.T) {
+	nw, err := dex.New(dex.WithInitialSize(16), dex.WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	c1 := nw.Subscribe(func(dex.Event) { order = append(order, "a") })
+	var c2 func()
+	c2Fired := 0
+	c2 = nw.Subscribe(func(dex.Event) {
+		c2Fired++
+		c2() // self-cancel during delivery
+	})
+	c3Fired := 0
+	c3 := nw.Subscribe(func(dex.Event) { c3Fired++; order = append(order, "c") })
+	defer c1()
+	defer c3()
+
+	rng := rand.New(rand.NewSource(8))
+	growUntilRebuild(t, nw, rng, 800)
+
+	if c2Fired != 1 {
+		t.Fatalf("self-cancelling subscriber fired %d times, want exactly 1", c2Fired)
+	}
+	if c3Fired == 0 {
+		t.Fatal("subscriber after a self-cancelling peer received nothing")
+	}
+	// Both remaining subscribers see every event, so the log must be
+	// strict "a","c" pairs: registration order within every round.
+	if len(order)%2 != 0 {
+		t.Fatalf("odd delivery log length %d: a subscriber missed a round", len(order))
+	}
+	for i := 0; i < len(order); i += 2 {
+		if order[i] != "a" || order[i+1] != "c" {
+			t.Fatalf("round %d delivered out of registration order: %v", i/2, order[i:i+2])
+		}
+	}
+
+	// After cancelling, no further delivery.
+	c1()
+	c1() // idempotent
+	c3()
+	if nw.Subscribers() != 0 {
+		t.Fatalf("Subscribers() = %d after all cancels, want 0", nw.Subscribers())
+	}
+	before := len(order)
+	nodes := nw.Nodes()
+	for i := 0; i < 50; i++ {
+		if err := nw.Insert(nw.FreshID(), nodes[0]); err != nil {
+			t.Fatal(err)
+		}
+		nodes = nw.Nodes()
+	}
+	if len(order) != before {
+		t.Fatal("cancelled subscribers still received events")
+	}
+}
+
+// TestTransferEventsMatchMigrationWork: every type-1 recovery that moves
+// a vertex must surface as a VertexTransferred event with live node ids.
+func TestTransferEventsMatchMigrationWork(t *testing.T) {
+	nw, err := dex.New(dex.WithInitialSize(24), dex.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfers := 0
+	defer nw.Subscribe(func(ev dex.Event) {
+		if e, ok := ev.(dex.VertexTransferred); ok {
+			transfers++
+			// Delivery is synchronous, so nw.P() is the modulus of the
+			// cycle the vertex belongs to at event time.
+			if e.Vertex < 0 || e.Vertex >= dex.Vertex(nw.P()) {
+				t.Fatalf("transfer event vertex %d outside [0, %d)", e.Vertex, nw.P())
+			}
+		}
+	})()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < 0.5 || nw.Size() <= 6 {
+			if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := nw.Delete(nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if transfers == 0 {
+		t.Fatal("200 churn steps produced no vertex transfers")
+	}
+}

@@ -1,0 +1,52 @@
+package dex
+
+// Cost is the per-operation complexity triple of the paper's Table 1.
+type Cost struct {
+	Rounds          int
+	Messages        int
+	TopologyChanges int
+}
+
+// Maintainer is the public contract of a churn-maintained overlay
+// network: the adversary inserts and deletes nodes, the maintainer
+// repairs its topology, and LastCost reports what the repair cost in
+// the paper's measures. *Network satisfies it, as do the baseline
+// adapters in the experiment harness (Law-Siu, flip-chain, skip-graph,
+// and the naive strawmen), so experiments, benchmarks, and user code
+// drive every construction through one interface.
+type Maintainer interface {
+	// Insert adds node id attached at node attach and repairs.
+	Insert(id, attach NodeID) error
+	// Delete removes node id and repairs.
+	Delete(id NodeID) error
+	// Graph exposes the live overlay topology (read-only).
+	Graph() *Graph
+	// Nodes returns the current node ids in ascending order.
+	Nodes() []NodeID
+	// Size returns the current node count.
+	Size() int
+	// FreshID returns a never-used node id.
+	FreshID() NodeID
+	// LastCost reports the cost of the most recent operation.
+	LastCost() Cost
+}
+
+// InvariantChecker is satisfied by maintainers that can mechanically
+// verify their structural invariants (the harness audits these when
+// asked).
+type InvariantChecker interface {
+	CheckInvariants() error
+}
+
+// Coordinated is satisfied by maintainers with a distinguished
+// coordinator node (DEX's simulator of vertex 0); targeted adversaries
+// use it.
+type Coordinated interface {
+	Coordinator() NodeID
+}
+
+var (
+	_ Maintainer       = (*Network)(nil)
+	_ InvariantChecker = (*Network)(nil)
+	_ Coordinated      = (*Network)(nil)
+)

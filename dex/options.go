@@ -1,0 +1,137 @@
+package dex
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Mode selects how type-2 recovery is performed.
+type Mode = core.RecoveryMode
+
+const (
+	// Simplified rebuilds the whole virtual graph in a single step
+	// (Algorithms 4.5/4.6): the amortized bounds of Corollary 1.
+	Simplified = core.Simplified
+	// Staggered spreads rebuilds over Theta(n) steps via the coordinator
+	// (Algorithms 4.7-4.9): the worst-case bounds of Theorem 1. This is
+	// the default.
+	Staggered = core.Staggered
+)
+
+// options collects the configuration assembled by Option values.
+type options struct {
+	initialSize int
+	cfg         core.Config
+	rng         *rand.Rand
+	audit       bool
+	err         error
+}
+
+func defaultOptions() options {
+	return options{initialSize: 64, cfg: core.DefaultConfig()}
+}
+
+// Option configures a Network under construction; pass them to New.
+type Option func(*options)
+
+// fail records the first option error; New reports it instead of
+// constructing.
+func (o *options) fail(format string, args ...any) {
+	if o.err == nil {
+		o.err = fmt.Errorf("dex: "+format, args...)
+	}
+}
+
+// WithInitialSize sets the initial node count n0 (>= 4; default 64).
+// Nodes receive ids 0..n0-1.
+func WithInitialSize(n0 int) Option {
+	return func(o *options) {
+		if n0 < 4 {
+			o.fail("initial size %d < 4", n0)
+			return
+		}
+		o.initialSize = n0
+	}
+}
+
+// WithMode selects Simplified or Staggered type-2 recovery (default
+// Staggered).
+func WithMode(m Mode) Option {
+	return func(o *options) {
+		if m != Simplified && m != Staggered {
+			o.fail("unknown recovery mode %d", int(m))
+			return
+		}
+		o.cfg.Mode = m
+	}
+}
+
+// WithZeta sets the maximum cloud size zeta of the p-cycle construction
+// (>= 2; the paper fixes zeta <= 8, the default). Exposed for ablations.
+func WithZeta(zeta int) Option {
+	return func(o *options) {
+		if zeta < 2 {
+			o.fail("zeta %d < 2", zeta)
+			return
+		}
+		o.cfg.Zeta = zeta
+	}
+}
+
+// WithTheta sets the rebuilding parameter theta in (0, 1/16]. The
+// paper's proofs need theta <= 1/(68*zeta+1); the default 1/64 keeps
+// staggering phases short while all invariants hold empirically, and
+// the AB-THETA ablation validates the range up to 1/16. Larger values
+// delay rebuilds long enough to breach the Lemma 9 load bound, so they
+// are rejected.
+func WithTheta(theta float64) Option {
+	return func(o *options) {
+		if theta <= 0 || theta > 1.0/16 {
+			o.fail("theta %v outside (0, 1/16]", theta)
+			return
+		}
+		o.cfg.Theta = theta
+	}
+}
+
+// WithWalkFactor sets c in the type-1 walk length c*ceil(log2 n)
+// (>= 1; default 4). Exposed for ablations.
+func WithWalkFactor(c int) Option {
+	return func(o *options) {
+		if c < 1 {
+			o.fail("walk factor %d < 1", c)
+			return
+		}
+		o.cfg.WalkFactor = c
+	}
+}
+
+// WithSeed seeds the network's deterministic random source (default 1).
+// Two networks built with equal options and driven by the same
+// operation sequence behave identically.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.cfg.Seed = seed }
+}
+
+// WithRNG supplies an explicit random source, overriding WithSeed. The
+// network takes ownership of r; per the package concurrency contract it
+// must not be shared with other goroutines.
+func WithRNG(r *rand.Rand) Option {
+	return func(o *options) {
+		if r == nil {
+			o.fail("nil RNG")
+			return
+		}
+		o.rng = r
+	}
+}
+
+// WithAudit makes every mutating operation re-verify all paper
+// invariants before returning (CheckInvariants); violations surface as
+// operation errors. Intended for tests and debugging — audits cost
+// O(n + p) per operation.
+func WithAudit(on bool) Option {
+	return func(o *options) { o.audit = on }
+}

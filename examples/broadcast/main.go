@@ -11,13 +11,13 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/dex"
 	"repro/internal/congest"
-	"repro/internal/core"
 	"repro/internal/spectral"
 )
 
 func main() {
-	nw, err := core.New(128, core.DefaultConfig())
+	nw, err := dex.New(dex.WithInitialSize(128))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func main() {
 	measure(nw, "after 600 churn steps")
 }
 
-func measure(nw *core.Network, label string) {
+func measure(nw *dex.Network, label string) {
 	g := nw.Graph()
 	n := nw.Size()
 	logN := math.Log2(float64(n))

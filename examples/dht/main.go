@@ -8,12 +8,12 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/dex"
 	"repro/internal/dht"
 )
 
 func main() {
-	nw, err := core.New(48, core.DefaultConfig())
+	nw, err := dex.New(dex.WithInitialSize(48))
 	if err != nil {
 		log.Fatal(err)
 	}

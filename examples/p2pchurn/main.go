@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/dex"
 	"repro/internal/harness"
 	"repro/internal/lawsiu"
 	"repro/internal/spectral"
@@ -19,12 +19,10 @@ func main() {
 	const n0 = 96
 	const steps = 360
 
-	cfg := core.DefaultConfig()
-	dexNet, err := core.New(n0, cfg)
+	dexNet, err := dex.New(dex.WithInitialSize(n0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	dex := harness.DexMaintainer{Network: dexNet}
 
 	lsNet, err := lawsiu.New(n0, 3, 1)
 	if err != nil {
@@ -37,7 +35,7 @@ func main() {
 	attackBoth := func(from, to int) {
 		advD := &harness.CutThinning{}
 		advL := &harness.CutThinning{}
-		if _, err := harness.Run(dex, advD, harness.RunConfig{Steps: to - from, Seed: int64(from + 1)}); err != nil {
+		if _, err := harness.Run(dexNet, advD, harness.RunConfig{Steps: to - from, Seed: int64(from + 1)}); err != nil {
 			log.Fatal(err)
 		}
 		if _, err := harness.Run(ls, advL, harness.RunConfig{Steps: to - from, Seed: int64(from + 1)}); err != nil {
@@ -47,7 +45,7 @@ func main() {
 	for s := 0; s < steps; s += 40 {
 		attackBoth(s, s+40)
 		fmt.Printf("%8d  %10.4f  %10.4f\n", s+40,
-			spectral.Gap(dex.Graph()), spectral.Gap(ls.Graph()))
+			spectral.Gap(dexNet.Graph()), spectral.Gap(ls.Graph()))
 	}
 
 	fmt.Println()
@@ -60,8 +58,8 @@ func main() {
 	fmt.Println("DEX self-healed through the entire attack; expansion never left the constant floor")
 }
 
-// recsOf converts the core history into harness records for Summaries.
-func recsOf(nw *core.Network) []harness.Record {
+// recsOf converts the step history into harness records for Summaries.
+func recsOf(nw *dex.Network) []harness.Record {
 	var recs []harness.Record
 	for _, m := range nw.History() {
 		recs = append(recs, harness.Record{

@@ -1,5 +1,5 @@
 // Quickstart: build a DEX self-healing expander, churn it, and inspect
-// its health. This is the minimal tour of the public API.
+// its health. This is the minimal tour of the public dex API.
 package main
 
 import (
@@ -7,15 +7,14 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/dex"
 	"repro/internal/spectral"
 )
 
 func main() {
 	// 1. Build an initial network of 32 nodes. DEX picks the first prime
 	//    p0 in (4n, 8n) and maps the virtual expander Z(p0) onto them.
-	cfg := core.DefaultConfig()
-	nw, err := core.New(32, cfg)
+	nw, err := dex.New(dex.WithInitialSize(32))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +55,7 @@ func main() {
 	fmt.Printf("after 200 adversarial steps: n=%d, virtual graph %s\n", nw.Size(), nw.Cycle())
 	fmt.Printf("worst step: %d rounds, %d messages, %d topology changes\n", maxRounds, maxMsgs, maxTopo)
 	fmt.Printf("max load %d (bound %d), max degree %d, spectral gap %.4f\n",
-		nw.MaxLoad(), 4*cfg.Zeta, nw.Graph().MaxDistinctDegree(), spectral.Gap(nw.Graph()))
+		nw.MaxLoad(), 4*nw.Zeta(), nw.Graph().MaxDistinctDegree(), spectral.Gap(nw.Graph()))
 
 	// 4. Every paper invariant is mechanically checkable.
 	if err := nw.CheckInvariants(); err != nil {

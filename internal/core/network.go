@@ -207,6 +207,10 @@ func (nw *Network) OwnerOf(x Vertex) NodeID { return nw.simOf[x] }
 // (Algorithm 4.7's coordinator).
 func (nw *Network) Coordinator() NodeID { return nw.simOf[0] }
 
+// Zeta returns the configured maximum cloud size zeta (Lemma 9 bounds
+// every load by 4*zeta).
+func (nw *Network) Zeta() int { return nw.cfg.Zeta }
+
 // SpareCount and LowCount expose the coordinator's counters.
 func (nw *Network) SpareCount() int { return nw.nSpare }
 
@@ -382,6 +386,16 @@ func (nw *Network) moveVertex(x Vertex, w NodeID) {
 // current-cycle vertex migration (nil to clear).
 func (nw *Network) SetTransferObserver(f func(x Vertex, from, to NodeID)) {
 	nw.transferObserver = f
+}
+
+// SetRNG replaces the network's random source. Construction itself is
+// deterministic (the balanced virtual mapping draws no coins), so
+// swapping the source right after New yields a network whose every
+// random choice comes from r.
+func (nw *Network) SetRNG(r *rand.Rand) {
+	if r != nil {
+		nw.rng = r
+	}
 }
 
 // SetRebuildObserver registers a callback fired after each virtual-graph

@@ -18,12 +18,17 @@
 // re-homes under the new hash function - the paper piggybacks this on the
 // staggered rebuild at constant overhead, and the migration counters here
 // expose exactly that cost.
+//
+// A DHT watches its network through the public dex event stream, so any
+// number of DHTs (and other subscribers: metrics collectors, loggers)
+// may observe one network concurrently; Close detaches a DHT without
+// disturbing its peers.
 package dht
 
 import (
 	"hash/fnv"
 
-	"repro/internal/core"
+	"repro/dex"
 )
 
 // Stats reports the cost of one DHT operation in the paper's measures.
@@ -34,10 +39,11 @@ type Stats struct {
 
 // DHT is a key/value store layered over a DEX network.
 type DHT struct {
-	nw *core.Network
+	nw     *dex.Network
+	cancel func()
 
 	items       map[string]string
-	vertexItems map[core.Vertex]int // #items homed at each virtual vertex
+	vertexItems map[dex.Vertex]int // #items homed at each virtual vertex
 	p           int64
 
 	// MigrationMessages accumulates item-movement costs caused by vertex
@@ -47,33 +53,42 @@ type DHT struct {
 	Rehashes int
 }
 
-// New attaches a DHT to the network. Only one DHT should observe a given
-// network (it registers the transfer/rebuild observers).
-func New(nw *core.Network) *DHT {
+// New attaches a DHT to the network by subscribing to its event stream.
+// Multiple DHTs and other subscribers may observe the same network.
+func New(nw *dex.Network) *DHT {
 	d := &DHT{
 		nw:          nw,
 		items:       make(map[string]string),
-		vertexItems: make(map[core.Vertex]int),
+		vertexItems: make(map[dex.Vertex]int),
 		p:           nw.P(),
 	}
-	nw.SetTransferObserver(func(x core.Vertex, from, to core.NodeID) {
-		if n := d.vertexItems[x]; n > 0 {
+	d.cancel = nw.Subscribe(d.onEvent)
+	return d
+}
+
+// Close detaches the DHT from the network's event stream; the stored
+// items remain readable but stop tracking churn. Idempotent.
+func (d *DHT) Close() { d.cancel() }
+
+// onEvent keeps item placement in sync with the overlay's self-healing.
+func (d *DHT) onEvent(ev dex.Event) {
+	switch e := ev.(type) {
+	case dex.VertexTransferred:
+		if n := d.vertexItems[e.Vertex]; n > 0 {
 			// The vertex's items ride along the transfer: one message
 			// each over the freshly established edge.
 			d.MigrationMessages += n
 		}
-	})
-	nw.SetRebuildObserver(func(pNew int64) {
-		d.rehash(pNew)
-	})
-	return d
+	case dex.GraphRebuilt:
+		d.rehash(e.NewP)
+	}
 }
 
 // hash maps a key to a virtual vertex under the current modulus.
-func (d *DHT) hash(key string) core.Vertex {
+func (d *DHT) hash(key string) dex.Vertex {
 	h := fnv.New64a()
 	h.Write([]byte(key))
-	return core.Vertex(h.Sum64() % uint64(d.p))
+	return dex.Vertex(h.Sum64() % uint64(d.p))
 }
 
 // rehash re-homes every item under the new modulus, charging one routed
@@ -82,7 +97,7 @@ func (d *DHT) hash(key string) core.Vertex {
 func (d *DHT) rehash(pNew int64) {
 	d.Rehashes++
 	d.p = pNew
-	d.vertexItems = make(map[core.Vertex]int, len(d.vertexItems))
+	d.vertexItems = make(map[dex.Vertex]int, len(d.vertexItems))
 	for k := range d.items {
 		d.vertexItems[d.hash(k)]++
 		d.MigrationMessages++
@@ -91,12 +106,12 @@ func (d *DHT) rehash(pNew int64) {
 
 // routeHops returns the hop count of the tree route from vertex x to
 // vertex z (up to vertex 0, down to z).
-func (d *DHT) routeHops(x, z core.Vertex) int {
+func (d *DHT) routeHops(x, z dex.Vertex) int {
 	return d.nw.Dist0(x) + d.nw.Dist0(z)
 }
 
 // originVertex picks the virtual vertex of the requesting node.
-func (d *DHT) originVertex(origin core.NodeID) core.Vertex {
+func (d *DHT) originVertex(origin dex.NodeID) dex.Vertex {
 	x, ok := d.nw.SomeVertexOf(origin)
 	if !ok {
 		return 0
@@ -106,7 +121,7 @@ func (d *DHT) originVertex(origin core.NodeID) core.Vertex {
 
 // Put stores (key, value), initiated by node origin, and returns the
 // operation cost.
-func (d *DHT) Put(origin core.NodeID, key, value string) Stats {
+func (d *DHT) Put(origin dex.NodeID, key, value string) Stats {
 	z := d.hash(key)
 	hops := d.routeHops(d.originVertex(origin), z)
 	if _, existed := d.items[key]; !existed {
@@ -118,7 +133,7 @@ func (d *DHT) Put(origin core.NodeID, key, value string) Stats {
 
 // Get looks up key from node origin; found is false for absent keys. The
 // cost covers the request route and the response route back.
-func (d *DHT) Get(origin core.NodeID, key string) (value string, found bool, s Stats) {
+func (d *DHT) Get(origin dex.NodeID, key string) (value string, found bool, s Stats) {
 	z := d.hash(key)
 	hops := d.routeHops(d.originVertex(origin), z)
 	value, found = d.items[key]
@@ -126,7 +141,7 @@ func (d *DHT) Get(origin core.NodeID, key string) (value string, found bool, s S
 }
 
 // Delete removes key, returning whether it existed and the cost.
-func (d *DHT) Delete(origin core.NodeID, key string) (bool, Stats) {
+func (d *DHT) Delete(origin dex.NodeID, key string) (bool, Stats) {
 	z := d.hash(key)
 	hops := d.routeHops(d.originVertex(origin), z)
 	_, existed := d.items[key]
@@ -143,12 +158,12 @@ func (d *DHT) Delete(origin core.NodeID, key string) (bool, Stats) {
 func (d *DHT) Len() int { return len(d.items) }
 
 // Owner returns the node currently responsible for key.
-func (d *DHT) Owner(key string) core.NodeID { return d.nw.OwnerOf(d.hash(key)) }
+func (d *DHT) Owner(key string) dex.NodeID { return d.nw.OwnerOf(d.hash(key)) }
 
 // ItemsPerNode returns the storage load distribution over real nodes,
 // the balance claim of Section 4.4.4.
-func (d *DHT) ItemsPerNode() map[core.NodeID]int {
-	out := make(map[core.NodeID]int)
+func (d *DHT) ItemsPerNode() map[dex.NodeID]int {
+	out := make(map[dex.NodeID]int)
 	for _, u := range d.nw.Nodes() {
 		out[u] = 0
 	}

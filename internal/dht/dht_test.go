@@ -6,12 +6,12 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/core"
+	"repro/dex"
 )
 
-func newNet(t testing.TB, n0 int) *core.Network {
+func newNet(t testing.TB, n0 int) *dex.Network {
 	t.Helper()
-	nw, err := core.New(n0, core.DefaultConfig())
+	nw, err := dex.New(dex.WithInitialSize(n0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,5 +165,114 @@ func TestOwnerTracksMapping(t *testing.T) {
 	}
 	if v, ok, _ := d.Get(nw.Nodes()[0], "k"); !ok || v != "v" {
 		t.Fatal("key unreadable after owner deletion")
+	}
+}
+
+// TestTwoSubscribersObserveSameRebuild is the regression test for the
+// old "only one DHT should observe a given network" restriction: a DHT
+// and an independent metrics collector subscribe to the same network,
+// and both must observe the same inflation without interfering.
+func TestTwoSubscribersObserveSameRebuild(t *testing.T) {
+	nw := newNet(t, 16)
+	d := New(nw)
+
+	// Second, independent subscriber: a bare metrics collector.
+	rebuilds := 0
+	transfers := 0
+	cancel := nw.Subscribe(func(ev dex.Event) {
+		switch ev.(type) {
+		case dex.GraphRebuilt:
+			rebuilds++
+		case dex.VertexTransferred:
+			transfers++
+		}
+	})
+	defer cancel()
+	if nw.Subscribers() != 2 {
+		t.Fatalf("Subscribers() = %d, want 2", nw.Subscribers())
+	}
+
+	for i := 0; i < 60; i++ {
+		d.Put(0, fmt.Sprintf("k%d", i), "v")
+	}
+	p0 := nw.P()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 600 && nw.P() == p0; i++ {
+		nodes := nw.Nodes()
+		if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nw.P() == p0 {
+		t.Fatal("network never inflated")
+	}
+	if rebuilds == 0 {
+		t.Fatal("metrics subscriber missed the rebuild")
+	}
+	if transfers == 0 {
+		t.Fatal("metrics subscriber saw no vertex transfers")
+	}
+	if d.Rehashes != rebuilds {
+		t.Fatalf("DHT saw %d rebuilds, metrics subscriber saw %d", d.Rehashes, rebuilds)
+	}
+	for i := 0; i < 60; i++ {
+		if v, ok, _ := d.Get(nw.Nodes()[0], fmt.Sprintf("k%d", i)); !ok || v != "v" {
+			t.Fatalf("key k%d lost with a second subscriber attached", i)
+		}
+	}
+}
+
+// TestTwoDHTsOnOneNetwork verifies that two key/value stores can share
+// one overlay: each keeps its own items consistent across churn and a
+// rebuild, and detaching one (Close) leaves the other tracking.
+func TestTwoDHTsOnOneNetwork(t *testing.T) {
+	nw := newNet(t, 16)
+	a, b := New(nw), New(nw)
+	for i := 0; i < 40; i++ {
+		a.Put(0, fmt.Sprintf("a%d", i), "va")
+		b.Put(0, fmt.Sprintf("b%d", i), "vb")
+	}
+	p0 := nw.P()
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 600 && nw.P() == p0; i++ {
+		nodes := nw.Nodes()
+		if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nw.P() == p0 {
+		t.Fatal("network never inflated")
+	}
+	if a.Rehashes == 0 || b.Rehashes == 0 {
+		t.Fatalf("rebuild missed: a=%d b=%d rehashes", a.Rehashes, b.Rehashes)
+	}
+	for i := 0; i < 40; i++ {
+		if v, ok, _ := a.Get(nw.Nodes()[0], fmt.Sprintf("a%d", i)); !ok || v != "va" {
+			t.Fatalf("store a lost a%d", i)
+		}
+		if v, ok, _ := b.Get(nw.Nodes()[0], fmt.Sprintf("b%d", i)); !ok || v != "vb" {
+			t.Fatalf("store b lost b%d", i)
+		}
+	}
+
+	// Detach a; b must keep observing alone.
+	a.Close()
+	a.Close() // idempotent
+	if nw.Subscribers() != 1 {
+		t.Fatalf("Subscribers() = %d after Close, want 1", nw.Subscribers())
+	}
+	before := b.Rehashes
+	p1 := nw.P()
+	for i := 0; i < 1200 && nw.P() == p1; i++ {
+		nodes := nw.Nodes()
+		if err := nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nw.P() == p1 {
+		t.Fatal("network never inflated a second time")
+	}
+	if b.Rehashes == before {
+		t.Fatal("surviving DHT missed a rebuild after peer detached")
 	}
 }

@@ -5,7 +5,7 @@ import (
 	"io"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/dex"
 	"repro/internal/harness"
 	"repro/internal/stats"
 )
@@ -14,7 +14,8 @@ import (
 // parameter theta (staggering batch size vs load slack), the walk-length
 // factor c (type-1 success probability vs per-step cost), and the
 // headline staggered-vs-simplified type-2 choice (worst-step envelope vs
-// amortized cost).
+// amortized cost). Each configuration is assembled from public dex
+// options, so the ablations exercise exactly the surface users see.
 
 // AblationRow is one configuration's measurements.
 type AblationRow struct {
@@ -27,8 +28,8 @@ type AblationRow struct {
 	WalkRetries int
 }
 
-func runAblation(cfg core.Config, n0, steps int, pInsert float64, seed int64) AblationRow {
-	nw, err := core.New(n0, cfg)
+func runAblation(label string, n0, steps int, pInsert float64, seed int64, opts ...dex.Option) AblationRow {
+	nw, err := dex.New(append([]dex.Option{dex.WithInitialSize(n0), dex.WithSeed(seed)}, opts...)...)
 	if err != nil {
 		panic(err)
 	}
@@ -59,11 +60,12 @@ func runAblation(cfg core.Config, n0, steps int, pInsert float64, seed int64) Ab
 		}
 	}
 	if err := nw.CheckInvariants(); err != nil {
-		panic(fmt.Sprintf("ablation %+v: %v", cfg, err))
+		panic(fmt.Sprintf("ablation %s: %v", label, err))
 	}
 	r := stats.Summarize(rounds)
 	m := stats.Summarize(msgs)
 	return AblationRow{
+		Config:     label,
 		RoundsMean: r.Mean, RoundsMax: r.Max, MsgsMean: m.Mean,
 		TopoMax: topoMax, MaxLoad: maxLoad, WalkRetries: retries,
 	}
@@ -74,11 +76,7 @@ func AblateTheta(w io.Writer, n0, steps int, seed int64) []AblationRow {
 	var rows []AblationRow
 	tb := &stats.Table{Header: []string{"theta", "rounds-mean", "rounds-max", "msgs-mean", "topo-max", "max-load", "retries"}}
 	for _, theta := range []float64{1.0 / 16, 1.0 / 64, 1.0 / 256} {
-		cfg := core.DefaultConfig()
-		cfg.Theta = theta
-		cfg.Seed = seed
-		row := runAblation(cfg, n0, steps, 0.7, seed)
-		row.Config = fmt.Sprintf("1/%d", int(1/theta))
+		row := runAblation(fmt.Sprintf("1/%d", int(1/theta)), n0, steps, 0.7, seed, dex.WithTheta(theta))
 		rows = append(rows, row)
 		tb.AddF(row.Config, row.RoundsMean, row.RoundsMax, row.MsgsMean, row.TopoMax, row.MaxLoad, row.WalkRetries)
 	}
@@ -91,11 +89,7 @@ func AblateWalkFactor(w io.Writer, n0, steps int, seed int64) []AblationRow {
 	var rows []AblationRow
 	tb := &stats.Table{Header: []string{"walk-factor", "rounds-mean", "msgs-mean", "retries", "max-load"}}
 	for _, c := range []int{1, 2, 4, 8} {
-		cfg := core.DefaultConfig()
-		cfg.WalkFactor = c
-		cfg.Seed = seed
-		row := runAblation(cfg, n0, steps, 0.5, seed)
-		row.Config = fmt.Sprintf("c=%d", c)
+		row := runAblation(fmt.Sprintf("c=%d", c), n0, steps, 0.5, seed, dex.WithWalkFactor(c))
 		rows = append(rows, row)
 		tb.AddF(row.Config, row.RoundsMean, row.MsgsMean, row.WalkRetries, row.MaxLoad)
 	}
@@ -107,15 +101,8 @@ func AblateWalkFactor(w io.Writer, n0, steps int, seed int64) []AblationRow {
 // simplified type-2 recovery - the paper's central Section 4.4 design
 // choice.
 func AblateMode(w io.Writer, n0, steps int, seed int64) (staggered, simplified AblationRow) {
-	cfgStag := core.DefaultConfig()
-	cfgStag.Seed = seed
-	staggered = runAblation(cfgStag, n0, steps, 0.8, seed)
-	staggered.Config = "staggered"
-	cfgSimp := core.DefaultConfig()
-	cfgSimp.Mode = core.Simplified
-	cfgSimp.Seed = seed
-	simplified = runAblation(cfgSimp, n0, steps, 0.8, seed)
-	simplified.Config = "simplified"
+	staggered = runAblation("staggered", n0, steps, 0.8, seed, dex.WithMode(dex.Staggered))
+	simplified = runAblation("simplified", n0, steps, 0.8, seed, dex.WithMode(dex.Simplified))
 	tb := &stats.Table{Header: []string{"mode", "rounds-mean", "rounds-max", "msgs-mean", "topo-max", "max-load"}}
 	for _, r := range []AblationRow{staggered, simplified} {
 		tb.AddF(r.Config, r.RoundsMean, r.RoundsMax, r.MsgsMean, r.TopoMax, r.MaxLoad)
@@ -129,13 +116,12 @@ func AblateMode(w io.Writer, n0, steps int, seed int64) (staggered, simplified A
 
 // CoordinatorAttack measures DEX under repeated coordinator deletion.
 func CoordinatorAttack(w io.Writer, n0, steps int, seed int64) AblationRow {
-	nw, err := core.New(n0, core.DefaultConfig())
+	nw, err := dex.New(dex.WithInitialSize(n0))
 	if err != nil {
 		panic(err)
 	}
-	m := harness.DexMaintainer{Network: nw}
-	recs, err := harness.Run(m, harness.CoordinatorKiller{}, harness.RunConfig{
-		Steps: steps, Seed: seed, AuditDex: true,
+	recs, err := harness.Run(nw, harness.CoordinatorKiller{}, harness.RunConfig{
+		Steps: steps, Seed: seed, Audit: true,
 	})
 	if err != nil {
 		panic(err)

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/dex"
 	"repro/internal/core"
 	"repro/internal/dht"
 	"repro/internal/flipgraph"
@@ -24,15 +25,12 @@ import (
 	"repro/internal/stats"
 )
 
-func newDex(n0 int, mode core.RecoveryMode, seed int64) harness.DexMaintainer {
-	cfg := core.DefaultConfig()
-	cfg.Mode = mode
-	cfg.Seed = seed
-	nw, err := core.New(n0, cfg)
+func newDex(n0 int, mode dex.Mode, seed int64) *dex.Network {
+	nw, err := dex.New(dex.WithInitialSize(n0), dex.WithMode(mode), dex.WithSeed(seed))
 	if err != nil {
 		panic(err)
 	}
-	return harness.DexMaintainer{Network: nw}
+	return nw
 }
 
 // ---------------------------------------------------------------------------
@@ -56,7 +54,7 @@ func Table1(w io.Writer, n0, steps int, seed int64) []Table1Row {
 	build := func(name string) harness.Maintainer {
 		switch name {
 		case "dex":
-			return newDex(n0, core.Staggered, seed)
+			return newDex(n0, dex.Staggered, seed)
 		case "law-siu":
 			nw, err := lawsiu.New(n0, 3, seed)
 			if err != nil {
@@ -183,7 +181,7 @@ type ScalingPoint struct {
 func Thm1Scaling(w io.Writer, sizes []int, steps int, seed int64) ([]ScalingPoint, float64, float64) {
 	var pts []ScalingPoint
 	for _, n := range sizes {
-		m := newDex(n, core.Staggered, seed)
+		m := newDex(n, dex.Staggered, seed)
 		recs, err := harness.Run(m, harness.RandomChurn{PInsert: 0.5}, harness.RunConfig{
 			Steps: steps, Seed: seed,
 		})
@@ -225,7 +223,7 @@ func Thm1Scaling(w io.Writer, sizes []int, steps int, seed int64) ([]ScalingPoin
 // the minimum gap per algorithm.
 func GapSeries(w io.Writer, n0, steps, sampleEvery int, seed int64) map[string]float64 {
 	mk := map[string]func() harness.Maintainer{
-		"dex": func() harness.Maintainer { return newDex(n0, core.Staggered, seed) },
+		"dex": func() harness.Maintainer { return newDex(n0, dex.Staggered, seed) },
 		"law-siu": func() harness.Maintainer {
 			nw, err := lawsiu.New(n0, 3, seed)
 			if err != nil {
@@ -301,7 +299,7 @@ type AmortizedResult struct {
 // Amortized measures simplified-mode churn, the frequency of type-2
 // rebuilds, and Lemma 8's separation between them.
 func Amortized(w io.Writer, n0, steps int, seed int64) AmortizedResult {
-	m := newDex(n0, core.Simplified, seed)
+	m := newDex(n0, dex.Simplified, seed)
 	rng := rand.New(rand.NewSource(seed))
 	res := AmortizedResult{Steps: steps, MinSeparation: steps}
 	var rounds, msgs, topo float64
@@ -325,7 +323,7 @@ func Amortized(w io.Writer, n0, steps int, seed int64) AmortizedResult {
 		if float64(st.Rounds) > maxR {
 			maxR = float64(st.Rounds)
 		}
-		if st.Recovery != core.RecoveryType1 {
+		if st.Recovery != dex.RecoveryType1 {
 			res.Type2Steps++
 			if lastType2 >= 0 && i-lastType2 < res.MinSeparation {
 				res.MinSeparation = i - lastType2
@@ -364,8 +362,8 @@ type DHTPoint struct {
 func DHTCosts(w io.Writer, sizes []int, ops int, seed int64) ([]DHTPoint, float64) {
 	var pts []DHTPoint
 	for _, n := range sizes {
-		m := newDex(n, core.Staggered, seed)
-		d := dht.New(m.Network)
+		m := newDex(n, dex.Staggered, seed)
+		d := dht.New(m)
 		rng := rand.New(rand.NewSource(seed))
 		var putc, getc []float64
 		for i := 0; i < ops; i++ {
@@ -418,7 +416,7 @@ type MultiResult struct {
 
 // MultiBatch alternates insert and delete batches of n*eps nodes.
 func MultiBatch(w io.Writer, n0 int, eps float64, batches int, seed int64) MultiResult {
-	m := newDex(n0, core.Simplified, seed)
+	m := newDex(n0, dex.Simplified, seed)
 	rng := rand.New(rand.NewSource(seed))
 	var msgs, rounds float64
 	done := 0
@@ -429,10 +427,10 @@ func MultiBatch(w io.Writer, n0 int, eps float64, batches int, seed int64) Multi
 			k = 1
 		}
 		if b%2 == 0 {
-			var specs []core.InsertSpec
+			var specs []dex.InsertSpec
 			nodes := m.Nodes()
 			for i := 0; i < k; i++ {
-				specs = append(specs, core.InsertSpec{ID: m.FreshID(), Attach: nodes[rng.Intn(len(nodes))]})
+				specs = append(specs, dex.InsertSpec{ID: m.FreshID(), Attach: nodes[rng.Intn(len(nodes))]})
 			}
 			if err := m.InsertBatch(specs); err != nil {
 				panic(err)
@@ -465,7 +463,7 @@ func MultiBatch(w io.Writer, n0 int, eps float64, batches int, seed int64) Multi
 // WalkHitRate plants |Spare| ~ frac*n and measures the probability that a
 // c*log2(n)-step walk finds it, per walk-length factor.
 func WalkHitRate(w io.Writer, n0 int, frac float64, trials int, seed int64) map[int]float64 {
-	m := newDex(n0, core.Staggered, seed)
+	m := newDex(n0, dex.Staggered, seed)
 	// Churn to a steady state where ~frac of nodes are Spare: grow until
 	// p/n ~ 1/(1-frac)... simpler: measure against the live Spare set at
 	// whatever density the churn produced, reporting the density too.
@@ -563,7 +561,7 @@ func NaiveCosts(w io.Writer, sizes []int, steps int, seed int64) map[string]floa
 			var m harness.Maintainer
 			switch name {
 			case "dex":
-				m = newDex(n, core.Staggered, seed)
+				m = newDex(n, dex.Staggered, seed)
 			case "flooding":
 				nf, err := naive.New(n, naive.Flooding)
 				if err != nil {

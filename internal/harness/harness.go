@@ -1,7 +1,7 @@
 // Package harness drives churn experiments against DEX and every
-// baseline through one Maintainer interface, collecting the paper's cost
-// measures per step plus periodic spectral health samples, and renders
-// the tables and series that EXPERIMENTS.md records.
+// baseline through the public dex.Maintainer contract, collecting the
+// paper's cost measures per step plus periodic spectral health samples,
+// and renders the tables and series that EXPERIMENTS.md records.
 package harness
 
 import (
@@ -9,7 +9,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/dex"
 	"repro/internal/flipgraph"
 	"repro/internal/graph"
 	"repro/internal/lawsiu"
@@ -19,34 +19,16 @@ import (
 	"repro/internal/stats"
 )
 
-// Cost is the per-operation complexity triple of Table 1.
-type Cost struct {
-	Rounds          int
-	Messages        int
-	TopologyChanges int
-}
+// Cost is the per-operation complexity triple of Table 1, promoted to
+// the public API; the harness keeps an alias for its adapters.
+type Cost = dex.Cost
 
-// Maintainer is a churn-maintained overlay network.
-type Maintainer interface {
-	Insert(id, attach graph.NodeID) error
-	Delete(id graph.NodeID) error
-	Graph() *graph.Graph
-	Nodes() []graph.NodeID
-	Size() int
-	FreshID() graph.NodeID
-	LastCost() Cost
-}
+// Maintainer is the public churn-maintenance contract (see
+// dex.Maintainer). DEX itself satisfies it as *dex.Network; the
+// adapters below bring every baseline under the same interface.
+type Maintainer = dex.Maintainer
 
 // --- adapters ---------------------------------------------------------------
-
-// DexMaintainer adapts core.Network.
-type DexMaintainer struct{ *core.Network }
-
-// LastCost converts the step metrics.
-func (d DexMaintainer) LastCost() Cost {
-	m := d.Network.LastStep()
-	return Cost{Rounds: m.Rounds, Messages: m.Messages, TopologyChanges: m.TopologyChanges}
-}
 
 // LawSiuMaintainer adapts lawsiu.Network.
 type LawSiuMaintainer struct{ *lawsiu.Network }
@@ -208,9 +190,9 @@ func (a *CutThinning) Step(m Maintainer, rng *rand.Rand) error {
 	return deleteSafely(m, victim, rng)
 }
 
-// CoordinatorKiller targets DEX's coordinator every step (failure
-// injection for the Algorithm 4.7 hand-off); on non-DEX maintainers it
-// degenerates to deleting the smallest id.
+// CoordinatorKiller targets the coordinator every step (failure
+// injection for the Algorithm 4.7 hand-off); on maintainers without a
+// coordinator it degenerates to deleting the smallest id.
 type CoordinatorKiller struct{}
 
 // Name implements Adversary.
@@ -223,8 +205,8 @@ func (CoordinatorKiller) Step(m Maintainer, rng *rand.Rand) error {
 		return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
 	}
 	victim := nodes[0]
-	if dex, ok := m.(DexMaintainer); ok {
-		victim = dex.Coordinator()
+	if c, ok := m.(dex.Coordinated); ok {
+		victim = c.Coordinator()
 	}
 	if err := deleteSafely(m, victim, rng); err != nil {
 		return err
@@ -265,7 +247,7 @@ type RunConfig struct {
 	Seed     int64
 	GapEvery int  // sample the spectral gap every k steps (0 = never)
 	DegEvery int  // sample max distinct degree every k steps (0 = every step)
-	AuditDex bool // run core invariant checks each step (tests)
+	Audit    bool // run invariant checks each step on maintainers that support it
 }
 
 // Run drives adv against m for cfg.Steps steps and returns the records.
@@ -283,9 +265,9 @@ func Run(m Maintainer, adv Adversary, cfg RunConfig) ([]Record, error) {
 		if cfg.DegEvery == 0 || i%max(1, cfg.DegEvery) == 0 {
 			rec.MaxDegree = m.Graph().MaxDistinctDegree()
 		}
-		if cfg.AuditDex {
-			if dex, ok := m.(DexMaintainer); ok {
-				if err := dex.CheckInvariants(); err != nil {
+		if cfg.Audit {
+			if c, ok := m.(dex.InvariantChecker); ok {
+				if err := c.CheckInvariants(); err != nil {
 					return records, fmt.Errorf("step %d: invariant: %w", i, err)
 				}
 			}

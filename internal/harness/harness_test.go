@@ -4,20 +4,20 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/core"
+	"repro/dex"
 	"repro/internal/flipgraph"
 	"repro/internal/lawsiu"
 	"repro/internal/naive"
 	"repro/internal/skipgraph"
 )
 
-func dex(t testing.TB, n0 int) DexMaintainer {
+func newDex(t testing.TB, n0 int) *dex.Network {
 	t.Helper()
-	nw, err := core.New(n0, core.DefaultConfig())
+	nw, err := dex.New(dex.WithInitialSize(n0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return DexMaintainer{nw}
+	return nw
 }
 
 func allMaintainers(t testing.TB, n0 int) map[string]Maintainer {
@@ -43,7 +43,7 @@ func allMaintainers(t testing.TB, n0 int) map[string]Maintainer {
 		t.Fatal(err)
 	}
 	return map[string]Maintainer{
-		"dex":      dex(t, n0),
+		"dex":      newDex(t, n0),
 		"law-siu":  LawSiuMaintainer{ls},
 		"flip":     FlipMaintainer{fg},
 		"skip":     SkipMaintainer{sg},
@@ -86,8 +86,8 @@ func TestAdversariesAgainstDex(t *testing.T) {
 		CoordinatorKiller{},
 	}
 	for _, adv := range advs {
-		m := dex(t, 24)
-		if _, err := Run(m, adv, RunConfig{Steps: 60, Seed: 3, AuditDex: true}); err != nil {
+		m := newDex(t, 24)
+		if _, err := Run(m, adv, RunConfig{Steps: 60, Seed: 3, Audit: true}); err != nil {
 			t.Fatalf("%s: %v", adv.Name(), err)
 		}
 	}
@@ -96,8 +96,8 @@ func TestAdversariesAgainstDex(t *testing.T) {
 func TestDexCostEnvelopeUnderCoordinatorAttack(t *testing.T) {
 	// Failure injection: killing the coordinator every step must not blow
 	// up per-step costs or break invariants.
-	m := dex(t, 48)
-	recs, err := Run(m, CoordinatorKiller{}, RunConfig{Steps: 80, Seed: 4, AuditDex: true})
+	m := newDex(t, 48)
+	recs, err := Run(m, CoordinatorKiller{}, RunConfig{Steps: 80, Seed: 4, Audit: true})
 	if err != nil {
 		t.Fatal(err)
 	}
