@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test test-race vet fmt check bench sim dht experiments
+.PHONY: all build test test-race vet fmt check bench fuzz sim sim-scale dht experiments
 
 all: check
 
@@ -28,8 +29,19 @@ check: build vet fmt test
 bench:
 	$(GO) test -bench . -benchtime 200x -run '^$$' .
 
+# Differential churn-trace fuzzing: random byte strings decode into
+# operation traces replayed under the incremental-vs-full-rebuild
+# oracle plus the exhaustive invariant check.
+fuzz:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzChurnTrace -fuzztime $(FUZZTIME)
+
 sim:
 	$(GO) run ./cmd/dexsim -n0 128 -steps 1000 -adversary random -gap-every 100
+
+# Scale demonstration: grow past 10^5 nodes with the o(n) sampled audit
+# verifying every step (use -steps 1000000 for the 10^6-node run).
+sim-scale:
+	$(GO) run ./cmd/dexsim -n0 8192 -steps 100000 -pinsert 1.0 -adversary insert -gap-every 0 -audit sampled
 
 dht:
 	$(GO) run ./cmd/dexdht -n0 64 -keys 1000 -churn 500

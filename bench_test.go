@@ -1,9 +1,10 @@
 // Package repro's root benchmark suite regenerates the paper's
 // evaluation under `go test -bench`: one benchmark (family) per table
-// and figure, mapped in DESIGN.md section 3 and recorded in
-// EXPERIMENTS.md. Custom metrics (msgs/op, rounds/op, topo/op, gap)
-// carry the quantities the paper reports; ns/op is simulator overhead,
-// not a paper quantity.
+// and figure (the experiment index lives in README.md). Custom metrics
+// (msgs/op, rounds/op, topo/op, gap) carry the quantities the paper
+// reports; ns/op is simulator overhead, not a paper quantity — except
+// in the Churn* family, where ns/op is the measured quantity
+// (incremental vs full-rebuild maintenance cost).
 package repro
 
 import (
@@ -279,6 +280,49 @@ func BenchmarkCor2_BatchChurn(b *testing.B) {
 	if batches > 0 {
 		b.ReportMetric(msgs/float64(batches), "msgs/batch")
 	}
+}
+
+// --- CHURN: incremental maintenance vs full-rebuild baseline --------------------------
+//
+// The pair below quantifies the tentpole: per-operation cost of the
+// incremental real-graph maintenance versus an engine that recomputes
+// the contraction from scratch after every operation (the full-rebuild
+// oracle), at p ~ 10^5. The incremental path is o(p) per op, the
+// full-rebuild path Theta(p), so the gap is the scaling headroom.
+
+const churnBenchN0 = 25000 // p0 in (10^5, 2*10^5)
+
+func benchChurnMaintenance(b *testing.B, fullRebuild bool, opts ...dex.Option) {
+	nw, err := dex.New(append([]dex.Option{
+		dex.WithInitialSize(churnBenchN0), dex.WithMode(dex.Staggered), dex.WithSeed(17),
+	}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := harness.RandomChurn{PInsert: 0.5}
+	rng := rand.New(rand.NewSource(17))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := adv.Step(nw, rng); err != nil {
+			b.Fatal(err)
+		}
+		if fullRebuild {
+			g := nw.RecomputeGraph()
+			if g.NumNodes() != nw.Size() {
+				b.Fatalf("oracle lost nodes: %d vs %d", g.NumNodes(), nw.Size())
+			}
+		}
+	}
+	b.ReportMetric(float64(nw.P()), "p")
+}
+
+func BenchmarkChurnIncremental(b *testing.B) { benchChurnMaintenance(b, false) }
+func BenchmarkChurnFullRebuild(b *testing.B) { benchChurnMaintenance(b, true) }
+
+// BenchmarkChurnSampledAudit prices the always-on o(n) audit tier at
+// the same scale (the cost of running million-node churn "checked").
+func BenchmarkChurnSampledAudit(b *testing.B) {
+	benchChurnMaintenance(b, false, dex.WithAuditMode(dex.AuditSampled))
 }
 
 // --- FIG-W: walk concentration --------------------------------------------------------

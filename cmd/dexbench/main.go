@@ -1,5 +1,5 @@
 // Command dexbench regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md section 3 and EXPERIMENTS.md).
+// evaluation (the experiment index lives in README.md).
 //
 // Usage:
 //

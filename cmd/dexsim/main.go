@@ -1,11 +1,16 @@
-// Command dexsim runs an interactive-scale DEX churn simulation and
-// prints per-step and aggregate health: the live demonstration of
-// Theorem 1's maintenance guarantees.
+// Command dexsim runs a DEX churn simulation and prints per-step and
+// aggregate health: the live demonstration of Theorem 1's maintenance
+// guarantees. Real-graph maintenance is incremental (o(p) per
+// operation), so million-node runs are practical:
+//
+//	dexsim -n0 8192 -steps 1000000 -pinsert 1.0 -gap-every 0 -audit sampled
 //
 // Usage:
 //
 //	dexsim -n0 64 -steps 500 -pinsert 0.6 -mode staggered -adversary random
 //	dexsim -adversary cut -gap-every 25
+//	dexsim -audit sampled        # o(n) incremental audit every step
+//	dexsim -audit full           # exhaustive invariant check every step
 package main
 
 import (
@@ -28,8 +33,10 @@ func main() {
 		mode     = flag.String("mode", "staggered", "type-2 recovery: staggered|simplified")
 		advName  = flag.String("adversary", "random", "adversary: random|insert|delete|maxdeg|cut|coord")
 		seed     = flag.Int64("seed", 1, "random seed")
-		gapEvery = flag.Int("gap-every", 50, "sample spectral gap every k steps (0=off)")
-		audit    = flag.Bool("audit", false, "run full invariant checks every step")
+		gapEvery = flag.Int("gap-every", 50, "sample spectral gap every k steps (0=off; costly at large n)")
+		degEvery = flag.Int("deg-every", -1, "sample max degree every k steps (-1=auto, 0=every step)")
+		audit    = flag.String("audit", "off", "per-step invariant checks: off|sampled|full")
+		histCap  = flag.Int("history-cap", -1, "cap per-step metrics history (-1=auto, 0=unbounded)")
 		trace    = flag.Int("trace", 0, "print every k-th step's metrics (0=off)")
 	)
 	flag.Parse()
@@ -40,10 +47,32 @@ func main() {
 	} else if *mode != "staggered" {
 		log.Fatalf("unknown mode %q", *mode)
 	}
+	var auditMode dex.AuditMode
+	switch *audit {
+	case "off", "false", "":
+		auditMode = dex.AuditOff
+	case "sampled":
+		auditMode = dex.AuditSampled
+	case "full", "true":
+		auditMode = dex.AuditFull
+	default:
+		log.Fatalf("unknown audit mode %q (want off|sampled|full)", *audit)
+	}
+	if *histCap < 0 {
+		// Auto: unbounded for interactive runs, bounded for long ones so a
+		// 10^6-step run does not hold 10^6 StepMetrics (Totals keeps the
+		// lifetime aggregates either way).
+		*histCap = 0
+		if *steps > 100_000 {
+			*histCap = 65536
+		}
+	}
 	nw, err := dex.New(
 		dex.WithInitialSize(*n0),
 		dex.WithMode(recovery),
 		dex.WithSeed(*seed),
+		dex.WithAuditMode(auditMode),
+		dex.WithHistoryCap(*histCap),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -66,11 +95,19 @@ func main() {
 	default:
 		log.Fatalf("unknown adversary %q", *advName)
 	}
+	if *degEvery < 0 {
+		// Auto: every step for interactive runs; at large step counts the
+		// O(n) max-degree scan is sampled so it cannot dominate the run.
+		*degEvery = 0
+		if *steps > 10_000 {
+			*degEvery = *steps / 256
+		}
+	}
 
-	fmt.Printf("DEX self-healing expander: n0=%d p0=%d mode=%s adversary=%s\n",
-		*n0, nw.P(), recovery, adv.Name())
+	fmt.Printf("DEX self-healing expander: n0=%d p0=%d mode=%s adversary=%s audit=%s\n",
+		*n0, nw.P(), recovery, adv.Name(), auditMode)
 	recs, err := harness.Run(nw, adv, harness.RunConfig{
-		Steps: *steps, Seed: *seed, GapEvery: *gapEvery, Audit: *audit,
+		Steps: *steps, Seed: *seed, GapEvery: *gapEvery, DegEvery: *degEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -95,16 +132,9 @@ func main() {
 	if minGap >= 0 {
 		fmt.Printf("min sampled spectral gap: %.4f (final %.4f)\n", minGap, spectral.Gap(nw.Graph()))
 	}
-	inflations, deflations := 0, 0
-	for _, s := range nw.History() {
-		if s.StaggerStarted || s.Recovery == dex.RecoveryInflate {
-			inflations++
-		}
-		if s.Recovery == dex.RecoveryDeflate {
-			deflations++
-		}
-	}
-	fmt.Printf("type-2 activity: %d inflation and %d deflation events; invariants: ", inflations, deflations)
+	tot := nw.Totals()
+	fmt.Printf("type-2 activity: %d inflation and %d deflation events (%d staggered rebuilds committed); invariants: ",
+		tot.InflateEvents, tot.DeflateEvents, tot.StaggerFinishes)
 	if err := nw.CheckInvariants(); err != nil {
 		fmt.Printf("VIOLATED (%v)\n", err)
 		os.Exit(1)

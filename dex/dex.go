@@ -43,6 +43,7 @@ package dex
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -65,6 +66,10 @@ type Cycle = pcycle.Cycle
 // StepMetrics records the paper's cost measures (rounds, messages,
 // topology changes) plus recovery metadata for one adversarial step.
 type StepMetrics = core.StepMetrics
+
+// Totals aggregates step metrics over a network's lifetime in O(1)
+// memory (see (*Network).Totals).
+type Totals = core.Totals
 
 // InsertSpec names one batch-inserted node and its adversarial attach
 // point (Corollary 2).
@@ -110,7 +115,7 @@ var (
 // New; the zero value is not usable.
 type Network struct {
 	eng   *core.Network
-	audit bool
+	audit AuditMode
 	lastP int64
 
 	subs     []subscriber
@@ -146,11 +151,16 @@ func New(opts ...Option) (*Network, error) {
 		nw.publish(GraphRebuilt{OldP: nw.lastP, NewP: pNew})
 		nw.lastP = pNew
 	})
+	if o.edgeEvents {
+		eng.SetEdgeObserver(func(step int, deltas []graph.EdgeDelta) {
+			nw.publish(EdgesChanged{Step: step, Deltas: deltas})
+		})
+	}
 	return nw, nil
 }
 
 // afterOp publishes the stagger edge events of the step that just ran
-// and, under WithAudit, checks every paper invariant.
+// and runs the configured per-operation audit tier (WithAuditMode).
 func (nw *Network) afterOp() error {
 	st := nw.eng.LastStep()
 	if st.StaggerStarted {
@@ -159,10 +169,8 @@ func (nw *Network) afterOp() error {
 	if st.StaggerFinished {
 		nw.publish(StaggerFinished{Step: st.Step, N: st.N, P: st.P})
 	}
-	if nw.audit {
-		if err := nw.eng.CheckInvariants(); err != nil {
-			return fmt.Errorf("dex: audit after %s: %w", st.Op, err)
-		}
+	if err := nw.eng.Audit(nw.audit); err != nil {
+		return fmt.Errorf("dex: %s audit after %s: %w", nw.audit, st.Op, err)
 	}
 	return nil
 }
@@ -266,8 +274,15 @@ func (nw *Network) Rebuilding() (active bool, phase int) { return nw.eng.Rebuild
 // the coordinator's BFS tree (the compact-routing metric the DHT uses).
 func (nw *Network) Dist0(x Vertex) int { return nw.eng.Dist0(x) }
 
-// History returns per-step metrics since creation.
+// History returns per-step metrics since creation. Under WithHistoryCap
+// only the most recent steps are retained; Totals keeps exact lifetime
+// aggregates regardless.
 func (nw *Network) History() []StepMetrics { return nw.eng.History() }
+
+// Totals returns O(1)-memory lifetime aggregates of the per-step
+// metrics (sums, maxima, and recovery-event counts), unaffected by
+// WithHistoryCap.
+func (nw *Network) Totals() Totals { return nw.eng.Totals() }
 
 // LastStep returns the metrics of the most recent step (zero value
 // before any churn).
@@ -288,7 +303,26 @@ func (nw *Network) OrphanRescues() int { return nw.eng.OrphanRescues() }
 // counter; adversaries may instead supply their own ids to Insert.
 func (nw *Network) FreshID() NodeID { return nw.eng.FreshID() }
 
+// SampleNode returns a uniformly random live node id in O(1), drawing
+// from rng. Unlike Nodes it performs no sorting or allocation, so
+// adversaries and load generators can pick churn targets on
+// million-node networks without a per-step O(n) scan.
+func (nw *Network) SampleNode(rng *rand.Rand) NodeID { return nw.eng.SampleNode(rng) }
+
 // CheckInvariants mechanically verifies every structural invariant of
 // the paper (balanced mapping, load bounds, contraction-consistent
 // edges, stagger bookkeeping) and returns the first violation.
 func (nw *Network) CheckInvariants() error { return nw.eng.CheckInvariants() }
+
+// Audit runs the given invariant-checking tier immediately (the same
+// check WithAuditMode schedules after every operation): AuditSampled
+// re-verifies the nodes touched by the most recent operation plus a
+// random sample in o(n); AuditFull equals CheckInvariants.
+func (nw *Network) Audit(mode AuditMode) error { return nw.eng.Audit(mode) }
+
+// RecomputeGraph rebuilds the overlay from the virtual structure from
+// scratch and returns it — the full-rebuild oracle. The incrementally
+// maintained Graph() must equal it at all times; the differential test
+// suite and the ChurnFullRebuild benchmark are built on this method. It
+// never mutates the network.
+func (nw *Network) RecomputeGraph() *Graph { return nw.eng.RecomputeGraph() }

@@ -1,9 +1,11 @@
 package dex
 
+import "repro/internal/graph"
+
 // Event is a typed notification about a structural change of the
 // network. Concrete types: VertexTransferred, GraphRebuilt,
-// StaggerStarted, StaggerFinished. Subscribers switch on the dynamic
-// type:
+// StaggerStarted, StaggerFinished, EdgesChanged. Subscribers switch on
+// the dynamic type:
 //
 //	nw.Subscribe(func(ev dex.Event) {
 //		switch e := ev.(type) {
@@ -49,10 +51,30 @@ type StaggerFinished struct {
 	P    int64
 }
 
+// EdgesChanged reports the net overlay edge changes of one adversarial
+// step as a batched diff, published once per mutating operation and
+// only when the network was built WithEdgeEvents(true). Deltas is
+// sorted by (U, V) and contains no zero entries; edges added and
+// removed within the same step cancel out. Replaying every EdgesChanged
+// event onto a copy of the overlay keeps the copy's edge multiset
+// identical to the live graph — including across type-2 rebuilds, which
+// arrive as exactly the edges that changed. Within one step it is
+// delivered after every VertexTransferred/GraphRebuilt event and before
+// StaggerStarted/StaggerFinished.
+type EdgesChanged struct {
+	Step   int // 1-based step index, matching StepMetrics.Step
+	Deltas []EdgeDelta
+}
+
+// EdgeDelta is one entry of an EdgesChanged batch: the multiplicity of
+// the undirected overlay edge {U,V} changed by Delta (U <= V).
+type EdgeDelta = graph.EdgeDelta
+
 func (VertexTransferred) event() {}
 func (GraphRebuilt) event()      {}
 func (StaggerStarted) event()    {}
 func (StaggerFinished) event()   {}
+func (EdgesChanged) event()      {}
 
 // subscriber pairs a callback with a registration id so cancellation
 // survives slice reshuffling.

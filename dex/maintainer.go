@@ -1,5 +1,7 @@
 package dex
 
+import "math/rand"
+
 // Cost is the per-operation complexity triple of the paper's Table 1.
 type Cost struct {
 	Rounds          int
@@ -45,8 +47,17 @@ type Coordinated interface {
 	Coordinator() NodeID
 }
 
+// NodeSampler is satisfied by maintainers that can return a uniformly
+// random live node in O(1). The harness's adversaries use it on large
+// networks instead of the O(n log n) sorted Nodes() snapshot, which is
+// what lets churn runs scale past 10^6 nodes.
+type NodeSampler interface {
+	SampleNode(rng *rand.Rand) NodeID
+}
+
 var (
 	_ Maintainer       = (*Network)(nil)
 	_ InvariantChecker = (*Network)(nil)
 	_ Coordinated      = (*Network)(nil)
+	_ NodeSampler      = (*Network)(nil)
 )

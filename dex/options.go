@@ -20,12 +20,30 @@ const (
 	Staggered = core.Staggered
 )
 
+// AuditMode selects how much invariant checking runs after each
+// mutating operation (see WithAuditMode).
+type AuditMode = core.AuditMode
+
+const (
+	// AuditOff performs no per-operation checking (the default).
+	AuditOff = core.AuditOff
+	// AuditSampled verifies node-local invariants for the nodes the
+	// operation touched plus a small random sample: O(zeta) per checked
+	// node, independent of network size, so it can stay on for
+	// million-node runs.
+	AuditSampled = core.AuditSampled
+	// AuditFull runs the exhaustive O(n + p) invariant check after every
+	// operation.
+	AuditFull = core.AuditFull
+)
+
 // options collects the configuration assembled by Option values.
 type options struct {
 	initialSize int
 	cfg         core.Config
 	rng         *rand.Rand
-	audit       bool
+	audit       AuditMode
+	edgeEvents  bool
 	err         error
 }
 
@@ -131,7 +149,53 @@ func WithRNG(r *rand.Rand) Option {
 // WithAudit makes every mutating operation re-verify all paper
 // invariants before returning (CheckInvariants); violations surface as
 // operation errors. Intended for tests and debugging — audits cost
-// O(n + p) per operation.
+// O(n + p) per operation. WithAudit(on) is shorthand for
+// WithAuditMode(AuditFull) / WithAuditMode(AuditOff).
 func WithAudit(on bool) Option {
-	return func(o *options) { o.audit = on }
+	return func(o *options) {
+		if on {
+			o.audit = AuditFull
+		} else {
+			o.audit = AuditOff
+		}
+	}
+}
+
+// WithAuditMode selects the per-operation invariant-checking tier:
+// AuditOff (default), AuditSampled (incremental: the operation's dirty
+// nodes plus a random sample, o(n) per operation), or AuditFull
+// (exhaustive). Violations surface as errors from the mutating call.
+func WithAuditMode(m AuditMode) Option {
+	return func(o *options) {
+		if m != AuditOff && m != AuditSampled && m != AuditFull {
+			o.fail("unknown audit mode %d", int(m))
+			return
+		}
+		o.audit = m
+	}
+}
+
+// WithEdgeEvents enables per-step EdgesChanged events: after every
+// mutating operation the net overlay edge changes are published as one
+// batched, deterministically ordered diff. Subscribers can mirror the
+// overlay without rescanning it — a type-2 rebuild shows up as exactly
+// the edges that changed, not a wholesale graph swap. Off by default
+// (the diff costs one map entry per touched node pair per step).
+func WithEdgeEvents(on bool) Option {
+	return func(o *options) { o.edgeEvents = on }
+}
+
+// WithHistoryCap bounds the in-memory per-step metrics history kept by
+// History (0, the default, keeps every step). When the cap is reached
+// the older half is discarded; Totals still reports exact lifetime
+// aggregates. Long-running million-step churn uses this to hold O(cap)
+// metrics memory.
+func WithHistoryCap(n int) Option {
+	return func(o *options) {
+		if n < 0 {
+			o.fail("history cap %d < 0", n)
+			return
+		}
+		o.cfg.HistoryCap = n
+	}
 }

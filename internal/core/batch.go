@@ -59,6 +59,7 @@ func (nw *Network) InsertBatch(specs []InsertSpec) error {
 		}
 		nw.real.AddNode(s.ID)
 		nw.sim[s.ID] = make(map[Vertex]struct{})
+		nw.addNodeEntry(s.ID)
 		nw.setLoad(s.ID, 0, true)
 		nw.rebuiltReal = false
 		nw.addRealEdge(s.ID, s.Attach)
@@ -136,6 +137,7 @@ func (nw *Network) DeleteBatch(ids []NodeID) error {
 		}
 		nw.real.RemoveNode(id)
 		delete(nw.sim, id)
+		nw.removeNodeEntry(id)
 		nw.dropLoadEntry(id)
 		if coordLost {
 			nw.step.Messages += 2
@@ -189,13 +191,13 @@ func NewWithMapping(p int64, owner []graph.NodeID, cfg Config) (*Network, error)
 		simOf: append([]NodeID(nil), owner...),
 		sim:   make(map[NodeID]map[Vertex]struct{}),
 		load:  make(map[NodeID]int),
-		real:  graph.New(),
 	}
+	nw.initTracking()
 	for x := int64(0); x < p; x++ {
 		u := owner[x]
 		if nw.sim[u] == nil {
 			nw.sim[u] = make(map[Vertex]struct{})
-			nw.real.AddNode(u)
+			nw.addNodeEntry(u)
 		}
 		nw.sim[u][x] = struct{}{}
 		if u >= nw.nextID {
@@ -208,7 +210,7 @@ func NewWithMapping(p int64, owner []graph.NodeID, cfg Config) (*Network, error)
 		}
 		nw.setLoad(u, len(set), true)
 	}
-	nw.rebuildRealFromVirtual()
+	nw.applyRealDiff(nw.expectedRealGraph())
 	nw.refreshDist0()
 	return nw, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -10,7 +11,7 @@ import (
 )
 
 // TestWalkFastPathMatchesEngineOnOverlay is the fidelity bridge promised
-// in DESIGN.md: the direct token walk the maintainer uses for type-1
+// in README.md: the direct token walk the maintainer uses for type-1
 // recovery behaves identically - same endpoint, same hit flag, same step
 // count (= messages = rounds) - to the goroutine message-passing
 // execution on the live DEX overlay graph.
@@ -63,6 +64,143 @@ func churnQuiet(t testing.TB, nw *Network, steps int) {
 			if err := nw.Delete(nodes[rng.Intn(len(nodes))]); err != nil {
 				t.Fatal(err)
 			}
+		}
+	}
+}
+
+// --- differential oracle -------------------------------------------------------
+//
+// The incremental real-graph maintenance must be indistinguishable from
+// recomputing the contraction from scratch after every operation. The
+// helpers below are the reusable oracle: the fuzz target, the randomized
+// trace tests, and the scale tests all drive churn through them.
+
+// checkDifferentialState compares the incrementally maintained real
+// graph against the full-rebuild oracle and runs the sampled audit (the
+// o(n) tier must agree with the ground truth whenever the state is
+// healthy).
+func checkDifferentialState(nw *Network) error {
+	if err := graphsEqual(nw.real, nw.expectedRealGraph()); err != nil {
+		return fmt.Errorf("incremental real graph diverged from full rebuild: %w", err)
+	}
+	if err := nw.Audit(AuditSampled); err != nil {
+		return fmt.Errorf("sampled audit disagrees with healthy state: %w", err)
+	}
+	return nil
+}
+
+// checkEveryNode runs the node-local audit on the whole network,
+// validating wantRow against the live graph for every node (including
+// mid-rebuild states with intermediate edges).
+func checkEveryNode(nw *Network) error {
+	for _, u := range nw.Nodes() {
+		if err := nw.CheckNode(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceStep performs one randomized operation - single insert/delete or
+// a batch - against nw, mirroring the adversarial op mix the public
+// harness generates.
+func traceStep(nw *Network, rng *rand.Rand) error {
+	nodes := nw.Nodes()
+	r := rng.Float64()
+	switch {
+	case r < 0.50 || nw.Size() <= 6:
+		return nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))])
+	case r < 0.85:
+		return nw.Delete(nodes[rng.Intn(len(nodes))])
+	case r < 0.93:
+		k := 1 + rng.Intn(4)
+		specs := make([]InsertSpec, k)
+		for j := range specs {
+			specs[j] = InsertSpec{ID: nw.FreshID(), Attach: nodes[(rng.Intn(len(nodes))+j)%len(nodes)]}
+		}
+		return nw.InsertBatch(specs)
+	default:
+		k := 1 + rng.Intn(3)
+		perm := rng.Perm(len(nodes))
+		victims := make([]NodeID, 0, k)
+		for _, i := range perm[:k] {
+			victims = append(victims, nodes[i])
+		}
+		err := nw.DeleteBatch(victims)
+		if err != nil && nw.Size() > 4 {
+			// Model-illegal batches (disconnection, no surviving
+			// neighbor, too small) are legitimately rejected; the state
+			// must be untouched, which the caller's oracle check proves.
+			return nil
+		}
+		return err
+	}
+}
+
+// TestDifferentialChurnTraces replays randomized churn traces -
+// single ops, batches, staggered and simplified rebuilds - asserting
+// after every operation that the incremental real graph is identical to
+// a shadow full rebuild, and periodically that every node-local audit
+// and the exhaustive invariant check agree.
+func TestDifferentialChurnTraces(t *testing.T) {
+	for _, mode := range []RecoveryMode{Staggered, Simplified} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%v/seed=%d", mode, seed), func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Mode = mode
+				cfg.Seed = seed
+				nw := mustNew(t, 12, cfg)
+				rng := rand.New(rand.NewSource(seed * 101))
+				for i := 0; i < 300; i++ {
+					if err := traceStep(nw, rng); err != nil {
+						t.Fatalf("op %d: %v", i, err)
+					}
+					if err := checkDifferentialState(nw); err != nil {
+						t.Fatalf("op %d (%s): %v", i, nw.RebuildDebug(), err)
+					}
+					if i%10 == 0 {
+						if err := checkEveryNode(nw); err != nil {
+							t.Fatalf("op %d (%s): %v", i, nw.RebuildDebug(), err)
+						}
+						if err := nw.CheckInvariants(); err != nil {
+							t.Fatalf("op %d: %v", i, err)
+						}
+					}
+				}
+				if err := nw.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestDirtySetBoundedOnType1Steps asserts the tentpole's o(p) claim at
+// the mechanism level: an operation that triggers no rebuild commit
+// dirties O(zeta * operation footprint) nodes, independent of n and p.
+func TestDirtySetBoundedOnType1Steps(t *testing.T) {
+	cfg := DefaultConfig()
+	nw := mustNew(t, 64, cfg)
+	rng := rand.New(rand.NewSource(17))
+	bound := 64 * cfg.Zeta // generous constant envelope, still ≪ p
+	for i := 0; i < 400; i++ {
+		nodes := nw.Nodes()
+		var err error
+		if rng.Float64() < 0.5 || nw.Size() <= 6 {
+			err = nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))])
+		} else {
+			err = nw.Delete(nodes[rng.Intn(len(nodes))])
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := nw.LastStep()
+		if active, _ := nw.Rebuilding(); active || st.StaggerActive || st.Recovery != RecoveryType1 {
+			continue // rebuild steps may legitimately touch more
+		}
+		if len(nw.dirty) > bound {
+			t.Fatalf("step %d: type-1 op dirtied %d nodes (> %d) at n=%d p=%d",
+				i, len(nw.dirty), bound, nw.Size(), nw.P())
 		}
 	}
 }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzChurnTrace decodes an arbitrary byte string into a DEX operation
+// trace - header (seed, mode, initial size), then one operation per
+// byte pair - and replays it under the differential oracle: after every
+// operation the incrementally maintained real graph must equal a shadow
+// full rebuild, the sampled audit must stay silent, and the exhaustive
+// CheckInvariants must hold. Run it with `make fuzz` or
+//
+//	go test ./internal/core -run '^$' -fuzz FuzzChurnTrace
+//
+// The seed corpus replays as part of the ordinary test suite, covering
+// insert-heavy (inflation), delete-heavy (deflation), and batch traces
+// in both recovery modes.
+func FuzzChurnTrace(f *testing.F) {
+	inflate := []byte{7, 1} // staggered, n0 = 8
+	for i := 0; i < 120; i++ {
+		inflate = append(inflate, 0, byte(i*13))
+	}
+	f.Add(inflate)
+
+	deflate := []byte{3, 0}   // simplified, n0 = 8
+	for i := 0; i < 40; i++ { // grow first so there is room to shrink
+		deflate = append(deflate, 0, byte(i*7))
+	}
+	for i := 0; i < 90; i++ {
+		deflate = append(deflate, 1, byte(i*11))
+	}
+	f.Add(deflate)
+
+	batches := []byte{9, 21} // staggered, n0 = 10
+	for i := 0; i < 60; i++ {
+		batches = append(batches, byte(2+i%2), byte(i*29))
+	}
+	f.Add(batches)
+
+	f.Add([]byte{0, 0})
+	f.Add([]byte{255, 255, 0, 0, 1, 1, 2, 2, 3, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		cfg := DefaultConfig()
+		cfg.Seed = int64(data[0]) + 1
+		if data[1]&1 == 0 {
+			cfg.Mode = Simplified
+		}
+		n0 := 8 + int(data[1]>>3) // 8..39
+		nw, err := New(n0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := data[2:]
+		if len(ops) > 400 {
+			ops = ops[:400] // bound trace length so each input stays fast
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			applyTraceOp(t, nw, ops[i], ops[i+1])
+			// The exhaustive oracle is O(p) per check; checking every
+			// operation is affordable while the network is small (where
+			// the mutation space lives) and a divergence never self-heals,
+			// so a stride loses nothing on grown traces.
+			if nw.P() > 2048 && (i/2)%8 != 0 {
+				continue
+			}
+			if err := checkDifferentialState(nw); err != nil {
+				t.Fatalf("op %d (%s): %v", i/2, nw.RebuildDebug(), err)
+			}
+			if err := nw.CheckInvariants(); err != nil {
+				t.Fatalf("op %d (%s): %v", i/2, nw.RebuildDebug(), err)
+			}
+		}
+		if err := checkDifferentialState(nw); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if err := checkEveryNode(nw); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// applyTraceOp decodes one (op, arg) byte pair into an operation.
+// Decoding is deterministic, so every crashing input replays exactly.
+func applyTraceOp(t *testing.T, nw *Network, op, arg byte) {
+	t.Helper()
+	nodes := nw.Nodes()
+	pick := func(off int) NodeID { return nodes[(int(arg)+off)%len(nodes)] }
+	switch op % 4 {
+	case 0: // insert
+		if err := nw.Insert(nw.FreshID(), pick(0)); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	case 1: // delete
+		if err := nw.Delete(pick(0)); err != nil && !errors.Is(err, ErrTooSmall) {
+			t.Fatalf("delete %d: %v", pick(0), err)
+		}
+	case 2: // batch insert, distinct attach points (fan-in constraint)
+		k := 1 + int(arg)%5
+		specs := make([]InsertSpec, k)
+		for j := range specs {
+			specs[j] = InsertSpec{ID: nw.FreshID(), Attach: pick(j)}
+		}
+		if err := nw.InsertBatch(specs); err != nil {
+			t.Fatalf("insert batch: %v", err)
+		}
+	case 3: // batch delete; model-illegal batches are legitimately rejected
+		k := 1 + int(arg)%3
+		if k > len(nodes)-4 {
+			return
+		}
+		victims := make([]NodeID, 0, k)
+		seen := make(map[NodeID]bool, k)
+		for j := 0; len(victims) < k && j < len(nodes); j++ {
+			v := pick(j * 7)
+			if !seen[v] {
+				seen[v] = true
+				victims = append(victims, v)
+			}
+		}
+		if err := nw.DeleteBatch(victims); err != nil {
+			if errors.Is(err, ErrDuplicateID) || errors.Is(err, ErrUnknownNode) {
+				t.Fatalf("delete batch %v: %v", victims, err)
+			}
+			return // connectivity/survivor/size rejection: state untouched
+		}
+	}
+}

@@ -157,6 +157,229 @@ func (nw *Network) CheckInvariants() error {
 	return nil
 }
 
+// --- audit tiers -------------------------------------------------------------
+
+// AuditMode selects how much invariant checking runs after an operation.
+type AuditMode int
+
+const (
+	// AuditOff performs no checking.
+	AuditOff AuditMode = iota
+	// AuditSampled verifies node-local invariants for every node the last
+	// operation touched (capped) plus a few randomly sampled nodes, and
+	// O(1) global counters. Cost tracks the operation's own footprint,
+	// not the network size, so it is affordable on every step of a
+	// million-node run.
+	AuditSampled
+	// AuditFull runs the exhaustive O(p + E) CheckInvariants.
+	AuditFull
+)
+
+func (m AuditMode) String() string {
+	switch m {
+	case AuditSampled:
+		return "sampled"
+	case AuditFull:
+		return "full"
+	}
+	return "off"
+}
+
+const (
+	// auditDirtyCap bounds how many of the last step's dirty nodes a
+	// sampled audit re-verifies (type-2 commits dirty O(n) nodes at once).
+	auditDirtyCap = 128
+	// auditSampleSize is the number of extra uniformly sampled nodes a
+	// sampled audit verifies.
+	auditSampleSize = 8
+)
+
+// Audit verifies the paper's invariants at the cost tier selected by
+// mode. AuditFull is CheckInvariants; AuditSampled checks the nodes
+// dirtied by the most recent operation (up to auditDirtyCap of them)
+// plus auditSampleSize random nodes, using its own random source so the
+// recovery algorithm's coin flips are untouched.
+func (nw *Network) Audit(mode AuditMode) error {
+	switch mode {
+	case AuditOff:
+		return nil
+	case AuditFull:
+		return nw.CheckInvariants()
+	}
+	if len(nw.load) != len(nw.sim) {
+		return fmt.Errorf("audit: load table size %d != node count %d", len(nw.load), len(nw.sim))
+	}
+	if len(nw.nodeList) != len(nw.sim) {
+		return fmt.Errorf("audit: sampling mirror size %d != node count %d", len(nw.nodeList), len(nw.sim))
+	}
+	if int64(nw.Size()) > nw.z.P() {
+		return fmt.Errorf("audit: n=%d exceeds p=%d", nw.Size(), nw.z.P())
+	}
+	checked := 0
+	for u := range nw.dirty {
+		if _, live := nw.sim[u]; !live {
+			continue // deleted this step
+		}
+		if err := nw.CheckNode(u); err != nil {
+			return err
+		}
+		if checked++; checked >= auditDirtyCap {
+			break
+		}
+	}
+	for i := 0; i < auditSampleSize && len(nw.nodeList) > 0; i++ {
+		if err := nw.CheckNode(nw.SampleNode(nw.auditRng)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckNode verifies every node-local invariant at u: mapping coherence
+// (I2), load accounting and bounds (I3), the contraction row — u's real
+// edges must equal the contraction of the virtual structure restricted
+// to u (I4, node-locally), stagger bookkeeping (I8), and the sampling
+// mirror. It costs O(load(u)) = O(zeta), independent of n and p.
+func (nw *Network) CheckNode(u NodeID) error {
+	set, ok := nw.sim[u]
+	if !ok {
+		return fmt.Errorf("audit: unknown node %d", u)
+	}
+	if i, ok := nw.nodePos[u]; !ok || nw.nodeList[i] != u {
+		return fmt.Errorf("audit: node %d missing from sampling mirror", u)
+	}
+	for x := range set {
+		if nw.simOf[x] != u {
+			return fmt.Errorf("audit: Sim(%d) contains %d owned by %d", u, x, nw.simOf[x])
+		}
+	}
+	want := len(set)
+	s := nw.stag
+	if s != nil {
+		for y := range s.newSim[u] {
+			if s.newSimOf[y] != u {
+				return fmt.Errorf("audit: NewSim(%d) contains %d owned by %d", u, y, s.newSimOf[y])
+			}
+		}
+		want += s.newCount(u)
+		unproc, proj := 0, 0
+		for x := range set {
+			if !s.processedFlag[x] {
+				unproc++
+				proj += s.projection(x)
+			}
+		}
+		if s.unprocOld[u] != unproc {
+			return fmt.Errorf("audit: unprocOld(%d) = %d, want %d", u, s.unprocOld[u], unproc)
+		}
+		if s.effNew[u] != proj+s.newCount(u) {
+			return fmt.Errorf("audit: effNew(%d) = %d, want %d+%d", u, s.effNew[u], proj, s.newCount(u))
+		}
+	}
+	if nw.load[u] != want {
+		return fmt.Errorf("audit: load(%d) = %d, want %d", u, nw.load[u], want)
+	}
+	if want < 1 {
+		return fmt.Errorf("audit: node %d simulates nothing", u)
+	}
+	maxLoad := 4 * nw.cfg.Zeta
+	if s != nil {
+		maxLoad = 8 * nw.cfg.Zeta
+	}
+	if want > maxLoad {
+		return fmt.Errorf("audit: load(%d) = %d exceeds bound %d", u, want, maxLoad)
+	}
+	row, err := nw.wantRow(u)
+	if err != nil {
+		return err
+	}
+	nbrs := nw.real.Neighbors(u)
+	if len(nbrs) != len(row) {
+		return fmt.Errorf("audit: node %d has %d distinct real neighbors, contraction wants %d", u, len(nbrs), len(row))
+	}
+	for _, v := range nbrs {
+		if got, want := nw.real.Multiplicity(u, v), row[v]; got != want {
+			return fmt.Errorf("audit: edge {%d,%d} multiplicity %d, contraction wants %d", u, v, got, want)
+		}
+	}
+	return nil
+}
+
+// wantRow computes u's expected real adjacency row — the contraction of
+// the virtual structure restricted to edges incident to u — in O(load(u))
+// time by enumerating the edge slots of u's own vertices (old cycle,
+// and, mid-rebuild, generated new vertices plus the intermediate edges
+// anchored at u's unprocessed old vertices). Every non-loop virtual edge
+// with both endpoints at u is enumerated from both sides, so its
+// incidence count is halved; virtual self-loops are enumerated once.
+// The rules mirror expectedRealGraph exactly, which the differential
+// tests enforce.
+func (nw *Network) wantRow(u NodeID) (map[NodeID]int, error) {
+	s := nw.stag
+	row := make(map[NodeID]int)
+	loops, same := 0, 0
+	add := func(other NodeID) {
+		if other == u {
+			same++
+		} else {
+			row[other]++
+		}
+	}
+	for x := range nw.sim[u] {
+		for _, t := range nw.z.NeighborSlots(x) {
+			if t == x {
+				loops++ // chord self-loop of the old cycle
+				continue
+			}
+			if s != nil && s.droppedFlag[t] {
+				continue
+			}
+			add(nw.simOf[t])
+		}
+	}
+	if s != nil {
+		resolve := func(t Vertex) NodeID {
+			if v := s.newSimOf[t]; v >= 0 {
+				return v // endpoint generated: direct edge
+			}
+			return nw.simOf[s.ownerOld(t)] // intermediate edge anchor
+		}
+		for y := range s.newSim[u] {
+			add(resolve(s.zNew.Succ(y))) // successor edge, owned by y
+			if yp := s.zNew.Pred(y); s.newSimOf[yp] >= 0 {
+				add(s.newSimOf[yp]) // predecessor's successor edge
+			}
+			c := s.zNew.Inv(y)
+			switch {
+			case c == y:
+				loops++ // chord self-loop, owned by y
+			case y < c:
+				add(resolve(c)) // chord owned by the smaller endpoint y
+			case s.newSimOf[c] >= 0:
+				add(s.newSimOf[c]) // chord owned by generated c
+			}
+		}
+		for x := range nw.sim[u] {
+			for _, pe := range s.pending[x] {
+				add(s.newSimOf[pe.src]) // intermediate edges anchored at u
+			}
+		}
+	}
+	if same%2 != 0 {
+		return nil, fmt.Errorf("audit: node %d has odd self-incidence count %d", u, same)
+	}
+	if l := loops + same/2; l > 0 {
+		row[u] = l
+	}
+	return row, nil
+}
+
+// RecomputeGraph rebuilds the real overlay from the virtual structure
+// from scratch and returns it: the full-rebuild oracle the differential
+// tests and benchmarks compare the incrementally maintained graph
+// against. It never mutates the network.
+func (nw *Network) RecomputeGraph() *graph.Graph { return nw.expectedRealGraph() }
+
 // expectedRealGraph recomputes the contraction of the current virtual
 // structure from scratch (ground truth for I4).
 func (nw *Network) expectedRealGraph() *graph.Graph {

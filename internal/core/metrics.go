@@ -71,17 +71,95 @@ type StepMetrics struct {
 	P int64
 }
 
+// Totals aggregates step metrics over the network's lifetime in O(1)
+// memory, so long runs can cap the per-step history (Config.HistoryCap)
+// without losing the headline numbers.
+type Totals struct {
+	Steps int
+
+	Rounds          int64
+	Messages        int64
+	TopologyChanges int64
+
+	MaxRounds          int
+	MaxMessages        int
+	MaxTopologyChanges int
+
+	WalkRetries int64
+	Floods      int64
+
+	// InflateEvents / DeflateEvents count steps whose recovery was a
+	// type-2 inflation/deflation (one-step rebuilds and staggered rebuild
+	// triggers alike). StaggerStarts/StaggerFinishes count the staggered
+	// rebuild endpoints.
+	InflateEvents   int
+	DeflateEvents   int
+	StaggerStarts   int
+	StaggerFinishes int
+}
+
+func (t *Totals) absorb(s StepMetrics) {
+	t.Steps++
+	t.Rounds += int64(s.Rounds)
+	t.Messages += int64(s.Messages)
+	t.TopologyChanges += int64(s.TopologyChanges)
+	if s.Rounds > t.MaxRounds {
+		t.MaxRounds = s.Rounds
+	}
+	if s.Messages > t.MaxMessages {
+		t.MaxMessages = s.Messages
+	}
+	if s.TopologyChanges > t.MaxTopologyChanges {
+		t.MaxTopologyChanges = s.TopologyChanges
+	}
+	t.WalkRetries += int64(s.WalkRetries)
+	t.Floods += int64(s.Floods)
+	switch s.Recovery {
+	case RecoveryInflate:
+		t.InflateEvents++
+	case RecoveryDeflate:
+		t.DeflateEvents++
+	}
+	if s.StaggerStarted {
+		t.StaggerStarts++
+	}
+	if s.StaggerFinished {
+		t.StaggerFinishes++
+	}
+}
+
+// Totals returns the lifetime aggregate metrics; unlike History it is
+// unaffected by Config.HistoryCap.
+func (nw *Network) Totals() Totals { return nw.totals }
+
 func (nw *Network) beginStep(op OpKind, target NodeID) {
-	nw.step = StepMetrics{Step: len(nw.history) + 1, Op: op, Target: target}
+	nw.step = StepMetrics{Step: nw.totals.Steps + 1, Op: op, Target: target}
 	nw.rebuiltReal = false
+	clear(nw.dirty)
+	if len(nw.edgeDeltas) > 0 {
+		clear(nw.edgeDeltas)
+	}
 }
 
 func (nw *Network) endStep() StepMetrics {
 	nw.step.N = nw.Size()
 	nw.step.P = nw.z.P()
 	nw.step.StaggerActive = nw.stag != nil || nw.step.StaggerFinished
-	nw.history = append(nw.history, nw.step)
+	nw.totals.absorb(nw.step)
+	nw.appendHistory(nw.step)
+	nw.flushEdgeDeltas()
 	return nw.step
+}
+
+// appendHistory stores the step, dropping the older half when the
+// configured cap is reached (amortized O(1) per step).
+func (nw *Network) appendHistory(s StepMetrics) {
+	if limit := nw.cfg.HistoryCap; limit > 0 && len(nw.history) >= limit {
+		keep := limit / 2 // 0 when limit == 1: the append below restores len 1
+		n := copy(nw.history, nw.history[len(nw.history)-keep:])
+		nw.history = nw.history[:n]
+	}
+	nw.history = append(nw.history, s)
 }
 
 // LastStep returns the metrics of the most recent step.

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
@@ -81,6 +82,11 @@ type Config struct {
 	Mode RecoveryMode
 	// Seed drives all randomized choices.
 	Seed int64
+	// HistoryCap bounds the in-memory per-step metrics history; 0 keeps
+	// every step (the default). When the cap is reached the older half is
+	// discarded, so long churn runs hold O(cap) metrics memory while
+	// Totals keeps exact lifetime aggregates.
+	HistoryCap int
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -106,6 +112,12 @@ type Network struct {
 	load  map[NodeID]int // total load incl. staggering new vertices
 	real  *graph.Graph   // the overlay graph G_t (contraction of Z under Phi)
 
+	// nodeList/nodePos mirror the live node set in insertion order so a
+	// uniform node can be sampled in O(1) (adversaries at 10^6 nodes
+	// cannot afford the sorted Nodes() snapshot per step).
+	nodeList []NodeID
+	nodePos  map[NodeID]int
+
 	dist0 []int32 // cached BFS distances from vertex 0 (coordinator routing)
 
 	nSpare int // |{u : load(u) >= 2}|
@@ -117,7 +129,23 @@ type Network struct {
 
 	step        StepMetrics
 	history     []StepMetrics
-	rebuiltReal bool // set when a one-step type-2 rebuild replaced nw.real
+	totals      Totals
+	rebuiltReal bool // set when a one-step type-2 rebuild rewired nw.real
+
+	// dirty is the set of nodes whose real-edge row or load changed during
+	// the current step; sampled audits verify exactly these nodes, so the
+	// per-operation audit cost tracks the operation's own footprint.
+	dirty map[NodeID]struct{}
+
+	// edgeDeltas accumulates the step's net real-edge changes per node
+	// pair; it is only maintained while an edge observer is registered and
+	// is flushed (sorted, zeroes dropped) at the end of each step.
+	edgeDeltas   map[edgeKey]int
+	edgeObserver func(step int, deltas []graph.EdgeDelta)
+
+	// auditRng drives sampled audits; it is separate from rng so auditing
+	// never perturbs the recovery algorithm's random choices.
+	auditRng *rand.Rand
 
 	// failure counters for the pathological paths (never hit in normal
 	// operation; exercised by failure-injection tests).
@@ -140,7 +168,7 @@ func New(n0 int, cfg Config) (*Network, error) {
 	if n0 < 4 {
 		return nil, fmt.Errorf("core: initial size %d < 4", n0)
 	}
-	if cfg.Zeta < 2 || cfg.Theta <= 0 || cfg.Theta > 0.5 || cfg.WalkFactor < 1 {
+	if cfg.Zeta < 2 || cfg.Theta <= 0 || cfg.Theta > 0.5 || cfg.WalkFactor < 1 || cfg.HistoryCap < 0 {
 		return nil, fmt.Errorf("core: invalid config %+v", cfg)
 	}
 	p0, ok := primes.FirstPrimeIn(int64(4*n0), int64(8*n0))
@@ -158,12 +186,12 @@ func New(n0 int, cfg Config) (*Network, error) {
 		simOf:  make([]NodeID, p0),
 		sim:    make(map[NodeID]map[Vertex]struct{}, n0),
 		load:   make(map[NodeID]int, n0),
-		real:   graph.New(),
 		nextID: NodeID(n0),
 	}
+	nw.initTracking()
 	for u := 0; u < n0; u++ {
 		nw.sim[NodeID(u)] = make(map[Vertex]struct{})
-		nw.real.AddNode(NodeID(u))
+		nw.addNodeEntry(NodeID(u))
 	}
 	for x := int64(0); x < p0; x++ {
 		u := NodeID(x * int64(n0) / p0)
@@ -173,9 +201,20 @@ func New(n0 int, cfg Config) (*Network, error) {
 	for u := 0; u < n0; u++ {
 		nw.setLoad(NodeID(u), len(nw.sim[NodeID(u)]), true)
 	}
-	nw.rebuildRealFromVirtual()
+	nw.applyRealDiff(nw.expectedRealGraph())
 	nw.refreshDist0()
 	return nw, nil
+}
+
+// initTracking allocates the bookkeeping shared by both constructors:
+// O(1) node sampling, dirty-node tracking, and the audit random source.
+// nw.real is assigned once here (and never replaced afterwards: rebuilds
+// mutate it in place via applyRealDiff, so references stay live).
+func (nw *Network) initTracking() {
+	nw.real = graph.New()
+	nw.nodePos = make(map[NodeID]int)
+	nw.dirty = make(map[NodeID]struct{})
+	nw.auditRng = rand.New(rand.NewSource(nw.cfg.Seed ^ 0x5eed_a0d1))
 }
 
 // --- basic accessors -------------------------------------------------------
@@ -241,6 +280,68 @@ func (nw *Network) FreshID() NodeID {
 	return id
 }
 
+// addNodeEntry / removeNodeEntry keep the O(1) sampling mirror of the
+// live node set in sync (swap-with-last deletion).
+func (nw *Network) addNodeEntry(u NodeID) {
+	nw.nodePos[u] = len(nw.nodeList)
+	nw.nodeList = append(nw.nodeList, u)
+}
+
+func (nw *Network) removeNodeEntry(u NodeID) {
+	i, ok := nw.nodePos[u]
+	if !ok {
+		return
+	}
+	last := len(nw.nodeList) - 1
+	nw.nodeList[i] = nw.nodeList[last]
+	nw.nodePos[nw.nodeList[i]] = i
+	nw.nodeList = nw.nodeList[:last]
+	delete(nw.nodePos, u)
+}
+
+// SampleNode returns a uniformly random live node id in O(1), drawing
+// from r. Unlike Nodes() it performs no sorting or allocation, so
+// adversaries can churn million-node networks without a per-step O(n)
+// scan.
+func (nw *Network) SampleNode(r *rand.Rand) NodeID {
+	return nw.nodeList[r.Intn(len(nw.nodeList))]
+}
+
+// SetEdgeObserver registers a callback receiving, once per step, the
+// step's net real-edge changes as a batched, deterministically sorted
+// diff (nil to clear). Only net changes are reported: an edge added and
+// removed within one step cancels out.
+func (nw *Network) SetEdgeObserver(f func(step int, deltas []graph.EdgeDelta)) {
+	nw.edgeObserver = f
+	if f != nil && nw.edgeDeltas == nil {
+		nw.edgeDeltas = make(map[edgeKey]int)
+	}
+}
+
+// flushEdgeDeltas delivers the step's accumulated edge diff.
+func (nw *Network) flushEdgeDeltas() {
+	if nw.edgeObserver == nil || len(nw.edgeDeltas) == 0 {
+		return
+	}
+	out := make([]graph.EdgeDelta, 0, len(nw.edgeDeltas))
+	for k, d := range nw.edgeDeltas {
+		if d != 0 {
+			out = append(out, graph.EdgeDelta{U: k.u, V: k.v, Delta: d})
+		}
+	}
+	clear(nw.edgeDeltas)
+	if len(out) == 0 {
+		return
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	nw.edgeObserver(nw.step.Step, out)
+}
+
 // MaxLoad returns the maximum total load over all nodes.
 func (nw *Network) MaxLoad() int {
 	m := 0
@@ -289,6 +390,7 @@ func (nw *Network) setLoad(u NodeID, l int, fresh bool) {
 		nw.nLow++
 	}
 	nw.load[u] = l
+	nw.markDirty(u)
 }
 
 // dropLoadEntry removes u from the load tracking (node deletion).
@@ -316,17 +418,53 @@ func (nw *Network) bumpLoad(u NodeID, delta int) {
 // p-cycle.
 func (nw *Network) slotTargets(x Vertex) [3]Vertex { return nw.z.NeighborSlots(x) }
 
+// edgeKey canonically orders an undirected node pair for delta tracking.
+type edgeKey struct{ u, v NodeID }
+
+func pairKey(a, b NodeID) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// markDirty records that u's real-edge row or load changed this step;
+// sampled audits re-verify exactly the dirty nodes.
+func (nw *Network) markDirty(u NodeID) { nw.dirty[u] = struct{}{} }
+
+// rawAddEdge / rawRemoveEdge mutate the live overlay and feed the
+// dirty-node set and (when observed) the step's edge-delta batch, without
+// charging the paper's topology-change counter. All real-graph edge
+// mutations, including rebuild diffs, go through these two functions.
+func (nw *Network) rawAddEdge(a, b NodeID) {
+	nw.real.AddEdge(a, b)
+	nw.markDirty(a)
+	nw.markDirty(b)
+	if nw.edgeObserver != nil {
+		nw.edgeDeltas[pairKey(a, b)]++
+	}
+}
+
+func (nw *Network) rawRemoveEdge(a, b NodeID) {
+	if !nw.real.RemoveEdge(a, b) {
+		panic(fmt.Sprintf("core: removing absent real edge {%d,%d}", a, b))
+	}
+	nw.markDirty(a)
+	nw.markDirty(b)
+	if nw.edgeObserver != nil {
+		nw.edgeDeltas[pairKey(a, b)]--
+	}
+}
+
 // addRealEdge / removeRealEdge wrap graph mutations and count topology
 // changes for the current step.
 func (nw *Network) addRealEdge(a, b NodeID) {
-	nw.real.AddEdge(a, b)
+	nw.rawAddEdge(a, b)
 	nw.step.TopologyChanges++
 }
 
 func (nw *Network) removeRealEdge(a, b NodeID) {
-	if !nw.real.RemoveEdge(a, b) {
-		panic(fmt.Sprintf("core: removing absent real edge {%d,%d}", a, b))
-	}
+	nw.rawRemoveEdge(a, b)
 	nw.step.TopologyChanges++
 }
 
@@ -416,22 +554,54 @@ func (nw *Network) endpointOwner(x, t Vertex) NodeID {
 	return nw.simOf[t]
 }
 
-// rebuildRealFromVirtual recomputes the full real graph from the virtual
-// structure; used at initialization and by the one-step (simplified)
-// type-2 rebuilds. Incremental updates are used everywhere else.
-func (nw *Network) rebuildRealFromVirtual() {
-	fresh := graph.New()
-	for u := range nw.sim {
-		fresh.AddNode(u)
+// applyRealDiff mutates the live overlay in place until it equals want,
+// touching only the node pairs whose multiplicity actually differs. The
+// graph pointer is never replaced, so references returned by Graph()
+// stay live across type-2 rebuilds, every net change lands in the
+// dirty-node set, and subscribers see one batched edge diff instead of a
+// wholesale swap. The seed engine rebuilt a fresh graph here; the diff
+// is what lets a rebuild re-emit only the edges that changed.
+func (nw *Network) applyRealDiff(want *graph.Graph) {
+	for _, u := range nw.real.Nodes() {
+		if want.HasNode(u) {
+			continue
+		}
+		for _, v := range nw.real.Neighbors(u) {
+			for nw.real.Multiplicity(u, v) > 0 {
+				nw.rawRemoveEdge(u, v)
+			}
+		}
+		nw.real.RemoveNode(u)
+		nw.markDirty(u)
 	}
-	p := nw.z.P()
-	for x := int64(0); x < p; x++ {
-		fresh.AddEdge(nw.simOf[x], nw.simOf[nw.z.Succ(x)])
-		if y := nw.z.Inv(x); y >= x {
-			fresh.AddEdge(nw.simOf[x], nw.simOf[y])
+	for _, u := range want.Nodes() {
+		if !nw.real.HasNode(u) {
+			nw.real.AddNode(u)
+			nw.markDirty(u)
 		}
 	}
-	nw.real = fresh
+	for _, u := range want.Nodes() {
+		for _, v := range want.Neighbors(u) {
+			if v < u {
+				continue
+			}
+			d := want.Multiplicity(u, v) - nw.real.Multiplicity(u, v)
+			for ; d > 0; d-- {
+				nw.rawAddEdge(u, v)
+			}
+			for ; d < 0; d++ {
+				nw.rawRemoveEdge(u, v)
+			}
+		}
+		for _, v := range nw.real.Neighbors(u) {
+			if v < u || want.Multiplicity(u, v) > 0 {
+				continue
+			}
+			for nw.real.Multiplicity(u, v) > 0 {
+				nw.rawRemoveEdge(u, v)
+			}
+		}
+	}
 }
 
 // refreshDist0 recomputes the cached BFS tree of vertex 0 on the current

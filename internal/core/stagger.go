@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/pcycle"
 )
@@ -29,7 +30,7 @@ import (
 // complete p-cycle, which lower-bounds the edge expansion and hence keeps
 // the spectral gap constant (Lemma 9(b), via Cheeger both ways).
 //
-// Deviation noted in DESIGN.md: the paper creates intermediate edges for
+// Deviation (documented in README.md): the paper creates intermediate edges for
 // all three slots of a new vertex; we create each undirected new edge
 // exactly once, owned canonically (a vertex owns its successor edge, and
 // the chord is owned by its smaller endpoint). The union structure is
@@ -270,6 +271,7 @@ func (nw *Network) processOldVertex(x Vertex) {
 	u := nw.simOf[x]
 	s.processedFlag[x] = true
 	s.unprocOld[u]--
+	nw.markDirty(u) // bookkeeping changed even when x generates nothing
 
 	if s.dir == inflateDir {
 		cloud := s.inf.Cloud(x)
@@ -540,6 +542,23 @@ func (nw *Network) orphanRescue(u NodeID) {
 // commitStagger finalizes the rebuild: the new cycle becomes current.
 func (nw *Network) commitStagger() {
 	s := nw.stag
+	// A node inserted in the current step can still be awaiting its first
+	// vertex when a forced one-step rebuild drives the stagger to
+	// completion (the walk-exhaustion fallback preempting an in-flight
+	// rebuild). Re-home such nodes from donors before the old cycle
+	// disappears so the mapping stays surjective (found by FuzzChurnTrace).
+	var unassigned []NodeID
+	for u := range nw.sim {
+		if len(nw.sim[u]) == 0 && s.newCount(u) == 0 {
+			unassigned = append(unassigned, u)
+		}
+	}
+	if len(unassigned) > 0 {
+		sort.Slice(unassigned, func(i, j int) bool { return unassigned[i] < unassigned[j] })
+		for _, u := range unassigned {
+			nw.orphanRescue(u)
+		}
+	}
 	for u := range nw.sim {
 		if len(nw.sim[u]) != 0 {
 			panic(fmt.Sprintf("core: node %d still holds old vertices at commit", u))

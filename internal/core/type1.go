@@ -27,6 +27,7 @@ func (nw *Network) Insert(id, attach NodeID) error {
 	// unless required by the virtual graph (Alg 4.2 line 3).
 	nw.real.AddNode(id)
 	nw.sim[id] = make(map[Vertex]struct{})
+	nw.addNodeEntry(id)
 	nw.setLoad(id, 0, true)
 	nw.addRealEdge(id, attach)
 
@@ -55,10 +56,11 @@ func (nw *Network) recoverInsert(id, attach NodeID) {
 			// shortest-path control messages.
 			nw.chargeCoordinatorNotify(attach)
 			if nw.stag == nil && float64(nw.nSpare) < 3*nw.cfg.Theta*float64(nw.Size()) {
-				nw.startStagger(inflateDir)
-				nw.step.Recovery = RecoveryInflate
-				nw.step.StaggerStarted = true
-				stop = nw.insertStop(id) // predicates change under staggering
+				if nw.startStagger(inflateDir) {
+					nw.step.Recovery = RecoveryInflate
+					nw.step.StaggerStarted = true
+					stop = nw.insertStop(id) // predicates change under staggering
+				}
 			}
 			continue
 		}
@@ -140,6 +142,7 @@ func (nw *Network) Delete(id NodeID) error {
 	}
 	nw.real.RemoveNode(id)
 	delete(nw.sim, id)
+	nw.removeNodeEntry(id)
 	nw.dropLoadEntry(id)
 	if coordLost {
 		// Neighbors transfer the replicated coordinator state to the new
@@ -218,10 +221,11 @@ func (nw *Network) redistributeFrom(v NodeID, orphans []holding) {
 			if nw.cfg.Mode == Staggered {
 				nw.chargeCoordinatorNotify(v)
 				if nw.stag == nil && float64(nw.nLow) < 3*nw.cfg.Theta*float64(nw.Size()) {
-					nw.startStagger(deflateDir)
-					nw.step.Recovery = RecoveryDeflate
-					nw.step.StaggerStarted = true
-					stop = nw.holdingStop(h)
+					if nw.startStagger(deflateDir) {
+						nw.step.Recovery = RecoveryDeflate
+						nw.step.StaggerStarted = true
+						stop = nw.holdingStop(h)
+					}
 				}
 				continue
 			}
@@ -295,11 +299,15 @@ func (nw *Network) afterRecovery(reporter NodeID) {
 	if nw.cfg.Mode == Staggered && nw.stag == nil {
 		n := float64(nw.Size())
 		if float64(nw.nSpare) < 3*nw.cfg.Theta*n {
-			nw.startStagger(inflateDir)
-			nw.step.StaggerStarted = true
+			if nw.startStagger(inflateDir) {
+				nw.step.StaggerStarted = true
+				nw.step.Recovery = RecoveryInflate
+			}
 		} else if float64(nw.nLow) < 3*nw.cfg.Theta*n {
-			nw.startStagger(deflateDir)
-			nw.step.StaggerStarted = true
+			if nw.startStagger(deflateDir) {
+				nw.step.StaggerStarted = true
+				nw.step.Recovery = RecoveryDeflate
+			}
 		}
 	}
 	if nw.stag != nil {

@@ -342,10 +342,15 @@ func (nw *Network) commitRebuild(pv *provisional) {
 	for u, set := range newSim {
 		nw.setLoad(u, len(set), false)
 	}
-	nw.rebuildRealFromVirtual()
+	// Apply the new contraction as an in-place diff: only node pairs whose
+	// multiplicity actually changed are touched, the graph pointer stays
+	// stable, and subscribers receive the net edge changes as one batch.
+	// The counted topology-change cost below stays the paper's (tear down
+	// + rebuild), independent of how small the diff happens to be.
+	nw.stag = nil
+	nw.applyRealDiff(nw.expectedRealGraph())
 	nw.refreshDist0()
 	nw.rebuiltReal = true
-	nw.stag = nil
 
 	// Construction cost charges (Lemma 4 / Lemma 6): cycle edges are O(1)
 	// rounds via the old cycle edges; inverse edges need one permutation

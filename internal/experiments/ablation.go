@@ -10,7 +10,7 @@ import (
 	"repro/internal/stats"
 )
 
-// Ablations for the design choices DESIGN.md calls out: the rebuild
+// Ablations for the design choices README.md calls out: the rebuild
 // parameter theta (staggering batch size vs load slack), the walk-length
 // factor c (type-1 success probability vs per-step cost), and the
 // headline staggered-vs-simplified type-2 choice (worst-step envelope vs

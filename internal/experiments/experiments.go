@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md section 3 for the per-experiment index).
+// evaluation (the per-experiment index lives in README.md).
 // Each function runs a workload, prints the rows/series the paper
 // reports, and returns the headline numbers so bench_test.go and the
 // test suite can assert the expected shapes.

@@ -7,7 +7,7 @@ import (
 )
 
 // These tests run every experiment at smoke scale and assert the shapes
-// EXPERIMENTS.md records (who wins, by roughly what factor).
+// README.md records (who wins, by roughly what factor).
 
 func TestTable1Shapes(t *testing.T) {
 	var sb strings.Builder

@@ -198,6 +198,15 @@ type Edge struct {
 	Mult int
 }
 
+// EdgeDelta is one entry of a batched topology diff: the multiplicity of
+// the undirected edge {U,V} changed by Delta (U <= V, Delta != 0).
+// Incremental maintainers emit slices of these so subscribers can mirror
+// a graph without rescanning it.
+type EdgeDelta struct {
+	U, V  NodeID
+	Delta int
+}
+
 // Edges returns all distinct edges in deterministic order.
 func (g *Graph) Edges() []Edge {
 	var out []Edge

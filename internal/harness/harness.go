@@ -1,7 +1,7 @@
 // Package harness drives churn experiments against DEX and every
 // baseline through the public dex.Maintainer contract, collecting the
 // paper's cost measures per step plus periodic spectral health samples,
-// and renders the tables and series that EXPERIMENTS.md records.
+// and renders the tables and series the README documents.
 package harness
 
 import (
@@ -65,6 +65,25 @@ type Adversary interface {
 	Name() string
 }
 
+// samplerCutover is the network size above which adversaries switch
+// from the sorted Nodes() snapshot (O(n log n) per step) to the O(1)
+// NodeSampler, which is what lets churn runs scale past 10^6 nodes.
+// Below the cutover the legacy path is kept so seeded small-scale
+// experiments replay byte-identically to earlier versions: both paths
+// consume exactly one rng.Intn(size) draw.
+const samplerCutover = 2048
+
+// pickNode returns a uniformly random live node using one rng.Intn(n)
+// draw, via the O(1) sampler when the maintainer offers one and the
+// network is large.
+func pickNode(m Maintainer, rng *rand.Rand) graph.NodeID {
+	if s, ok := m.(dex.NodeSampler); ok && m.Size() >= samplerCutover {
+		return s.SampleNode(rng)
+	}
+	nodes := m.Nodes()
+	return nodes[rng.Intn(len(nodes))]
+}
+
 // RandomChurn inserts with probability PInsert, attaching to a uniform
 // node, and deletes a uniform node otherwise.
 type RandomChurn struct {
@@ -81,11 +100,10 @@ func (a RandomChurn) Step(m Maintainer, rng *rand.Rand) error {
 	if minSize < 6 {
 		minSize = 6
 	}
-	nodes := m.Nodes()
 	if rng.Float64() < a.PInsert || m.Size() <= minSize {
-		return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+		return m.Insert(m.FreshID(), pickNode(m, rng))
 	}
-	return deleteSafely(m, nodes[rng.Intn(len(nodes))], rng)
+	return deleteSafely(m, pickNode(m, rng), rng)
 }
 
 // InsertOnly grows the network.
@@ -96,8 +114,7 @@ func (InsertOnly) Name() string { return "insert-only" }
 
 // Step implements Adversary.
 func (InsertOnly) Step(m Maintainer, rng *rand.Rand) error {
-	nodes := m.Nodes()
-	return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+	return m.Insert(m.FreshID(), pickNode(m, rng))
 }
 
 // DeleteOnly shrinks the network (until MinSize, then it re-inserts to
@@ -113,11 +130,10 @@ func (a DeleteOnly) Step(m Maintainer, rng *rand.Rand) error {
 	if minSize < 6 {
 		minSize = 6
 	}
-	nodes := m.Nodes()
 	if m.Size() <= minSize {
-		return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+		return m.Insert(m.FreshID(), pickNode(m, rng))
 	}
-	return deleteSafely(m, nodes[rng.Intn(len(nodes))], rng)
+	return deleteSafely(m, pickNode(m, rng), rng)
 }
 
 // MaxDegreeTarget is adaptive: it deletes the node with the highest
@@ -130,10 +146,10 @@ func (MaxDegreeTarget) Name() string { return "max-degree-target" }
 
 // Step implements Adversary.
 func (a MaxDegreeTarget) Step(m Maintainer, rng *rand.Rand) error {
-	nodes := m.Nodes()
 	if rng.Float64() >= a.PTarget || m.Size() <= 6 {
-		return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+		return m.Insert(m.FreshID(), pickNode(m, rng))
 	}
+	nodes := m.Nodes()
 	g := m.Graph()
 	var victim graph.NodeID
 	best := -1
@@ -200,18 +216,19 @@ func (CoordinatorKiller) Name() string { return "coordinator-killer" }
 
 // Step implements Adversary.
 func (CoordinatorKiller) Step(m Maintainer, rng *rand.Rand) error {
-	nodes := m.Nodes()
 	if m.Size() <= 6 {
-		return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+		return m.Insert(m.FreshID(), pickNode(m, rng))
 	}
-	victim := nodes[0]
+	var victim graph.NodeID
 	if c, ok := m.(dex.Coordinated); ok {
 		victim = c.Coordinator()
+	} else {
+		victim = m.Nodes()[0]
 	}
 	if err := deleteSafely(m, victim, rng); err != nil {
 		return err
 	}
-	return m.Insert(m.FreshID(), m.Nodes()[rng.Intn(m.Size())])
+	return m.Insert(m.FreshID(), pickNode(m, rng))
 }
 
 // deleteSafely retries nearby victims when a maintainer refuses one
@@ -220,13 +237,12 @@ func deleteSafely(m Maintainer, victim graph.NodeID, rng *rand.Rand) error {
 	if err := m.Delete(victim); err == nil {
 		return nil
 	}
-	nodes := m.Nodes()
 	for try := 0; try < 8; try++ {
-		if err := m.Delete(nodes[rng.Intn(len(nodes))]); err == nil {
+		if err := m.Delete(pickNode(m, rng)); err == nil {
 			return nil
 		}
 	}
-	return m.Insert(m.FreshID(), nodes[rng.Intn(len(nodes))])
+	return m.Insert(m.FreshID(), pickNode(m, rng))
 }
 
 // --- the runner ---------------------------------------------------------------
