@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race vet fmt check bench fuzz sim sim-scale dht experiments
+.PHONY: all build test test-race vet fmt check bench bench-graph fuzz fuzz-churn fuzz-graph sim sim-scale dht experiments
 
 all: check
 
@@ -29,11 +29,24 @@ check: build vet fmt test
 bench:
 	$(GO) test -bench . -benchtime 200x -run '^$$' .
 
-# Differential churn-trace fuzzing: random byte strings decode into
-# operation traces replayed under the incremental-vs-full-rebuild
-# oracle plus the exhaustive invariant check.
-fuzz:
+# Substrate micro-benchmarks: walk-hop and edge-churn cost on the flat
+# adjacency arena vs the map-of-maps Ref baseline (BenchmarkWalkHop must
+# report 0 allocs/op).
+bench-graph:
+	$(GO) test ./internal/graph -run '^$$' -bench 'WalkHop|GraphChurn' -benchtime 100000x
+
+# Differential fuzzing, one target per oracle tier: FuzzChurnTrace
+# replays decoded operation traces under the incremental-vs-full-rebuild
+# oracle plus the exhaustive invariant check; FuzzGraphOps replays graph
+# mutation sequences against the map-of-maps Ref oracle (swap-safety for
+# the flat adjacency arena).
+fuzz: fuzz-churn fuzz-graph
+
+fuzz-churn:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzChurnTrace -fuzztime $(FUZZTIME)
+
+fuzz-graph:
+	$(GO) test ./internal/graph -run '^$$' -fuzz FuzzGraphOps -fuzztime $(FUZZTIME)
 
 sim:
 	$(GO) run ./cmd/dexsim -n0 128 -steps 1000 -adversary random -gap-every 100

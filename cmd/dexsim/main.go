@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/dex"
 	"repro/internal/harness"
@@ -38,6 +39,7 @@ func main() {
 		audit    = flag.String("audit", "off", "per-step invariant checks: off|sampled|full")
 		histCap  = flag.Int("history-cap", -1, "cap per-step metrics history (-1=auto, 0=unbounded)")
 		trace    = flag.Int("trace", 0, "print every k-th step's metrics (0=off)")
+		memstats = flag.Bool("memstats", false, "print heap and adjacency-arena memory summary after the run")
 	)
 	flag.Parse()
 
@@ -131,6 +133,17 @@ func main() {
 		nw.Size(), nw.P(), maxDeg, nw.MaxLoad(), nw.SpareCount(), nw.LowCount())
 	if minGap >= 0 {
 		fmt.Printf("min sampled spectral gap: %.4f (final %.4f)\n", minGap, spectral.Gap(nw.Graph()))
+	}
+	if *memstats {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		st := nw.Graph().Stats()
+		n := nw.Size()
+		fmt.Printf("memstats: heap %.1f MB (%.0f B/node); arena: %d live cells in %d pool cells (%.1f MB, %.0f B/node), %d free\n",
+			float64(ms.HeapAlloc)/(1<<20), float64(ms.HeapAlloc)/float64(n),
+			st.LiveCells, st.PoolCap, float64(st.PoolCap*12)/(1<<20), float64(st.PoolCap*12)/float64(n),
+			st.FreeCells)
 	}
 	tot := nw.Totals()
 	fmt.Printf("type-2 activity: %d inflation and %d deflation events (%d staggered rebuilds committed); invariants: ",

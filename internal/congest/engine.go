@@ -58,6 +58,20 @@ func (c *Ctx) WeightedNeighbors() ([]NodeID, []int) {
 	return c.engine.topo.WeightedNeighbors(c.ID)
 }
 
+// ForEachNeighbor visits the node's distinct neighbors in ascending order
+// with edge multiplicities, without allocating (the arena-backed analogue
+// of Neighbors; fn returns false to stop early).
+func (c *Ctx) ForEachNeighbor(fn func(v NodeID, mult int) bool) {
+	c.engine.topo.ForEachNeighbor(c.ID, fn)
+}
+
+// RandomNeighborStep picks a multiplicity-weighted neighbor using the
+// random word r, excluding exclude (-1 to disable): the zero-allocation
+// walk-hop primitive.
+func (c *Ctx) RandomNeighborStep(exclude NodeID, r uint64) (NodeID, bool) {
+	return c.engine.topo.RandomNeighborStep(c.ID, exclude, r)
+}
+
 // Send enqueues a message to a neighbor for delivery next round. Sending
 // to a non-neighbor is a protocol bug and panics.
 func (c *Ctx) Send(to NodeID, kind string, a, b, d int64) {

@@ -20,29 +20,11 @@ func splitmix64(state uint64) (uint64, uint64) {
 // multiplicity, excluding the node `exclude` (pass -1 to disable) and
 // self-loops' own-node entry only when cur != loop target (self-loops are
 // legitimate walk steps that stay put). It returns the chosen node and ok.
+// This is the walk-hop hot path: it delegates to the graph arena's
+// allocation-free RandomNeighborStep instead of materializing the
+// neighbor slices, while making the identical choice for a given r.
 func pickWeighted(g *graph.Graph, cur graph.NodeID, exclude graph.NodeID, r uint64) (graph.NodeID, bool) {
-	nbrs, mult := g.WeightedNeighbors(cur)
-	total := 0
-	for i, v := range nbrs {
-		if v == exclude {
-			continue
-		}
-		total += mult[i]
-	}
-	if total == 0 {
-		return 0, false
-	}
-	pick := int(r % uint64(total))
-	for i, v := range nbrs {
-		if v == exclude {
-			continue
-		}
-		pick -= mult[i]
-		if pick < 0 {
-			return v, true
-		}
-	}
-	return 0, false
+	return g.RandomNeighborStep(cur, exclude, r)
 }
 
 // WalkResult reports the outcome of a token random walk.
@@ -199,11 +181,12 @@ func floodAggregateOn(e *Engine, topo *graph.Graph, initiator graph.NodeID, valu
 	)
 	othersOf := func(ctx *Ctx, except graph.NodeID) []graph.NodeID {
 		var out []graph.NodeID
-		for _, v := range ctx.Neighbors() {
+		ctx.ForEachNeighbor(func(v graph.NodeID, _ int) bool {
 			if v != ctx.ID && v != except {
 				out = append(out, v)
 			}
-		}
+			return true
+		})
 		return out
 	}
 	finish := func(ctx *Ctx, st *floodState) {
@@ -282,12 +265,7 @@ func BroadcastCost(topo *graph.Graph, initiator graph.NodeID) (rounds, messages 
 		if d > rounds {
 			rounds = d
 		}
-		fan := 0
-		for _, v := range topo.Neighbors(id) {
-			if v != id {
-				fan++
-			}
-		}
+		fan := topo.DistinctDegree(id)
 		if id == initiator {
 			messages += fan
 		} else if fan > 0 {

@@ -456,6 +456,35 @@ func (nw *Network) rawRemoveEdge(a, b NodeID) {
 	}
 }
 
+// rawAddEdgeMult / rawRemoveEdgeMult are the bulk forms used by the
+// rebuild diff replay: one arena operation applies a whole multiplicity
+// delta instead of k single-edge mutations.
+func (nw *Network) rawAddEdgeMult(a, b NodeID, k int) {
+	if k <= 0 {
+		return
+	}
+	nw.real.AddEdgeMult(a, b, k)
+	nw.markDirty(a)
+	nw.markDirty(b)
+	if nw.edgeObserver != nil {
+		nw.edgeDeltas[pairKey(a, b)] += k
+	}
+}
+
+func (nw *Network) rawRemoveEdgeMult(a, b NodeID, k int) {
+	if k <= 0 {
+		return
+	}
+	if got := nw.real.RemoveEdgeMult(a, b, k); got != k {
+		panic(fmt.Sprintf("core: removing %d of edge {%d,%d}, only %d present", k, a, b, got))
+	}
+	nw.markDirty(a)
+	nw.markDirty(b)
+	if nw.edgeObserver != nil {
+		nw.edgeDeltas[pairKey(a, b)] -= k
+	}
+}
+
 // addRealEdge / removeRealEdge wrap graph mutations and count topology
 // changes for the current step.
 func (nw *Network) addRealEdge(a, b NodeID) {
@@ -567,9 +596,7 @@ func (nw *Network) applyRealDiff(want *graph.Graph) {
 			continue
 		}
 		for _, v := range nw.real.Neighbors(u) {
-			for nw.real.Multiplicity(u, v) > 0 {
-				nw.rawRemoveEdge(u, v)
-			}
+			nw.rawRemoveEdgeMult(u, v, nw.real.Multiplicity(u, v))
 		}
 		nw.real.RemoveNode(u)
 		nw.markDirty(u)
@@ -586,20 +613,17 @@ func (nw *Network) applyRealDiff(want *graph.Graph) {
 				continue
 			}
 			d := want.Multiplicity(u, v) - nw.real.Multiplicity(u, v)
-			for ; d > 0; d-- {
-				nw.rawAddEdge(u, v)
-			}
-			for ; d < 0; d++ {
-				nw.rawRemoveEdge(u, v)
+			if d > 0 {
+				nw.rawAddEdgeMult(u, v, d)
+			} else if d < 0 {
+				nw.rawRemoveEdgeMult(u, v, -d)
 			}
 		}
 		for _, v := range nw.real.Neighbors(u) {
 			if v < u || want.Multiplicity(u, v) > 0 {
 				continue
 			}
-			for nw.real.Multiplicity(u, v) > 0 {
-				nw.rawRemoveEdge(u, v)
-			}
+			nw.rawRemoveEdgeMult(u, v, nw.real.Multiplicity(u, v))
 		}
 	}
 }

@@ -157,14 +157,22 @@ func (nw *Network) Delete(id NodeID) error {
 	return nil
 }
 
-// survivingNeighbor picks the smallest distinct neighbor of id.
+// survivingNeighbor picks the smallest distinct neighbor of id. It scans
+// the node's arena run in place (ascending order) rather than snapshotting
+// a neighbor slice.
 func (nw *Network) survivingNeighbor(id NodeID) NodeID {
-	for _, v := range nw.real.Neighbors(id) {
+	found := NodeID(-1)
+	nw.real.ForEachNeighbor(id, func(v NodeID, _ int) bool {
 		if v != id {
-			return v
+			found = v
+			return false
 		}
+		return true
+	})
+	if found < 0 {
+		panic("core: node has no surviving neighbor")
 	}
-	panic("core: node has no surviving neighbor")
+	return found
 }
 
 // holding identifies one virtual vertex a node simulates, in either the

@@ -588,9 +588,12 @@ func NaiveCosts(w io.Writer, sizes []int, steps int, seed int64) map[string]floa
 	return out
 }
 
-// walkOnce is a tiny wrapper over the congest walk for FIG-W.
+// walkOnce is a tiny wrapper over the congest walk for FIG-W. It steps
+// through the graph arena's zero-allocation RandomNeighborStep accessor,
+// which draws the identical multiplicity-weighted choice the historical
+// slice-building loop made for the same splitmix64 stream.
 func walkOnce(g interface {
-	WeightedNeighbors(core.NodeID) ([]core.NodeID, []int)
+	RandomNeighborStep(u, exclude core.NodeID, r uint64) (core.NodeID, bool)
 }, start core.NodeID, maxLen int, seed uint64, stop func(core.NodeID) bool) bool {
 	cur := start
 	state := seed
@@ -600,22 +603,11 @@ func walkOnce(g interface {
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		z ^= z >> 31
-		nbrs, mult := g.WeightedNeighbors(cur)
-		total := 0
-		for _, m := range mult {
-			total += m
-		}
-		if total == 0 {
+		next, ok := g.RandomNeighborStep(cur, -1, z)
+		if !ok {
 			return false
 		}
-		pick := int(z % uint64(total))
-		for i, v := range nbrs {
-			pick -= mult[i]
-			if pick < 0 {
-				cur = v
-				break
-			}
-		}
+		cur = next
 		if stop(cur) {
 			return true
 		}

@@ -12,6 +12,20 @@
 //
 // All iteration orders are deterministic (sorted by node ID) so that
 // seeded experiments are exactly reproducible.
+//
+// # Representation
+//
+// Graph stores adjacency in a flat arena: one shared []entry pool holds a
+// contiguous, NodeID-sorted neighbor run per node, and a dense slot table
+// (NodeID <-> int32 slot) carries each run's offset plus cached multigraph
+// and distinct degrees. Runs grow by power-of-two capacity doubling and
+// freed runs recycle through per-size free lists, so steady-state churn
+// (AddEdge/RemoveEdge at bounded degree) allocates nothing and a node's
+// whole neighborhood sits on one or two cache lines. Walk stepping uses
+// RandomNeighborStep / ForEachNeighbor, which read the run in place and
+// never materialize slices. The previous map-of-maps implementation lives
+// on as Ref (ref.go), the oracle the differential tests check this arena
+// against.
 package graph
 
 import (
@@ -22,33 +36,61 @@ import (
 // NodeID identifies a node. The zero value is a valid ID.
 type NodeID int64
 
-// Graph is a mutable undirected multigraph.
+// nodeRec is the per-node slot record: the node's neighbor run in the pool
+// and its cached degrees.
+type nodeRec struct {
+	off  int32 // run start in the pool
+	n    int32 // entries in use
+	cap  int32 // run capacity (multiple of 4; 0 = no run allocated)
+	deg  int32 // multigraph degree: sum of mult (a self-loop counts once)
+	dist int32 // distinct neighbors excluding the node itself
+}
+
+// Graph is a mutable undirected multigraph backed by a flat adjacency
+// arena. Neighbor ids and multiplicities live in parallel slices (12
+// bytes per distinct neighbor, no struct padding); capacities are
+// multiples of 4 so run rounding wastes at most 3 cells per node.
 type Graph struct {
-	adj   map[NodeID]map[NodeID]int // adjacency with edge multiplicities
-	edges int                       // number of edges (loops count once)
+	index     map[NodeID]int32 // sparse NodeID -> dense slot
+	ids       []NodeID         // slot -> NodeID (stale for free slots)
+	recs      []nodeRec        // slot -> record
+	freeSlots []int32          // recycled slots
+	poolV     []NodeID         // neighbor ids, all runs concatenated
+	poolM     []int32          // multiplicities, parallel to poolV
+	freeRuns  [][]int32        // freed run offsets, indexed by capacity/4
+	freeCells int              // total cells parked on the free lists
+	edges     int              // number of edges (loops count once)
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{adj: make(map[NodeID]map[NodeID]int)}
+	return &Graph{index: make(map[NodeID]int32)}
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := New()
-	c.edges = g.edges
-	for u, nbrs := range g.adj {
-		m := make(map[NodeID]int, len(nbrs))
-		for v, k := range nbrs {
-			m[v] = k
-		}
-		c.adj[u] = m
+	c := &Graph{
+		index:     make(map[NodeID]int32, len(g.index)),
+		ids:       append([]NodeID(nil), g.ids...),
+		recs:      append([]nodeRec(nil), g.recs...),
+		freeSlots: append([]int32(nil), g.freeSlots...),
+		poolV:     append([]NodeID(nil), g.poolV...),
+		poolM:     append([]int32(nil), g.poolM...),
+		freeCells: g.freeCells,
+		edges:     g.edges,
+	}
+	for u, s := range g.index {
+		c.index[u] = s
+	}
+	c.freeRuns = make([][]int32, len(g.freeRuns))
+	for i, fl := range g.freeRuns {
+		c.freeRuns[i] = append([]int32(nil), fl...)
 	}
 	return c
 }
 
 // NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.adj) }
+func (g *Graph) NumNodes() int { return len(g.index) }
 
 // NumEdges returns the number of edges counting multiplicity; a self-loop
 // counts as one edge.
@@ -56,79 +98,345 @@ func (g *Graph) NumEdges() int { return g.edges }
 
 // HasNode reports whether u exists.
 func (g *Graph) HasNode(u NodeID) bool {
-	_, ok := g.adj[u]
+	_, ok := g.index[u]
 	return ok
 }
 
 // AddNode inserts u as an isolated node if not present.
-func (g *Graph) AddNode(u NodeID) {
-	if _, ok := g.adj[u]; !ok {
-		g.adj[u] = make(map[NodeID]int)
+func (g *Graph) AddNode(u NodeID) { g.slotOf(u) }
+
+// slotOf returns u's dense slot, creating it if needed.
+func (g *Graph) slotOf(u NodeID) int32 {
+	if s, ok := g.index[u]; ok {
+		return s
+	}
+	var s int32
+	if n := len(g.freeSlots); n > 0 {
+		s = g.freeSlots[n-1]
+		g.freeSlots = g.freeSlots[:n-1]
+		g.ids[s] = u
+		g.recs[s] = nodeRec{}
+	} else {
+		s = int32(len(g.ids))
+		g.ids = append(g.ids, u)
+		g.recs = append(g.recs, nodeRec{})
+	}
+	g.index[u] = s
+	return s
+}
+
+// findNbr binary-searches slot s's run for neighbor v, returning the
+// position and whether it was found (the position is the insertion point
+// otherwise).
+func (g *Graph) findNbr(s int32, v NodeID) (int32, bool) {
+	r := &g.recs[s]
+	lo, hi := r.off, r.off+r.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.poolV[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - r.off, lo < r.off+r.n && g.poolV[lo] == v
+}
+
+// growCap returns the next run capacity after capn: multiples of 4, ~1.5x
+// geometric so the fixed waste per node stays a few cells while degree
+// remains bounded.
+func growCap(capn int32) int32 {
+	next := (capn + capn/2) &^ 3
+	if next < capn+4 {
+		next = capn + 4
+	}
+	return next
+}
+
+// allocRun pops a run of capacity capn (a multiple of 4) off the free
+// list or carves a fresh one from the pool tail.
+func (g *Graph) allocRun(capn int32) int32 {
+	class := int(capn / 4)
+	if class < len(g.freeRuns) {
+		if fl := g.freeRuns[class]; len(fl) > 0 {
+			off := fl[len(fl)-1]
+			g.freeRuns[class] = fl[:len(fl)-1]
+			g.freeCells -= int(capn)
+			return off
+		}
+	}
+	off := len(g.poolV)
+	want := off + int(capn)
+	if want > 1<<31-1 {
+		// int32 offsets address 2^31 cells (~24GB of adjacency); failing
+		// loudly beats two runs silently aliasing after a wrap.
+		panic("graph: adjacency pool exceeds the int32 offset domain")
+	}
+	// The two pool slices grow independently (different element sizes mean
+	// different append capacities), so each is extended on its own.
+	if cap(g.poolV) >= want {
+		g.poolV = g.poolV[:want]
+	} else {
+		g.poolV = append(g.poolV, make([]NodeID, capn)...)
+	}
+	if cap(g.poolM) >= want {
+		g.poolM = g.poolM[:want]
+	} else {
+		g.poolM = append(g.poolM, make([]int32, capn)...)
+	}
+	return int32(off)
+}
+
+// freeRun returns a run to its capacity-class free list.
+func (g *Graph) freeRun(off, capn int32) {
+	if capn == 0 {
+		return
+	}
+	class := int(capn / 4)
+	for len(g.freeRuns) <= class {
+		g.freeRuns = append(g.freeRuns, nil)
+	}
+	g.freeRuns[class] = append(g.freeRuns[class], off)
+	g.freeCells += int(capn)
+}
+
+// maybeCompact repacks the arena when more than half its cells sit on
+// free lists. Growth and shrink churn strand runs in size classes nothing
+// asks for anymore; without compaction the pool's high-water mark — not
+// the live degree sum — would set the memory footprint. Called only from
+// the top of the public mutators, where no run offset is held across it.
+func (g *Graph) maybeCompact() {
+	if len(g.poolV) <= 4096 || 2*g.freeCells <= len(g.poolV) {
+		return
+	}
+	total := int32(0)
+	for s := range g.recs {
+		if n := g.recs[s].n; n > 0 {
+			total += (n + 3) &^ 3
+		}
+	}
+	// An eighth of slack keeps the first few post-compact growths carving
+	// from spare capacity instead of reallocating the arrays.
+	spare := int(total)/8 + 64
+	newV := make([]NodeID, total, int(total)+spare)
+	newM := make([]int32, total, int(total)+spare)
+	off := int32(0)
+	for s := range g.recs {
+		r := &g.recs[s]
+		if r.n == 0 {
+			// Isolated or dead slot: drop any parked run entirely.
+			r.off, r.cap = 0, 0
+			continue
+		}
+		newCap := (r.n + 3) &^ 3
+		copy(newV[off:off+r.n], g.poolV[r.off:r.off+r.n])
+		copy(newM[off:off+r.n], g.poolM[r.off:r.off+r.n])
+		r.off, r.cap = off, newCap
+		off += newCap
+	}
+	g.poolV, g.poolM = newV, newM
+	for i := range g.freeRuns {
+		g.freeRuns[i] = g.freeRuns[i][:0]
+	}
+	g.freeCells = 0
+}
+
+// insertEntry inserts (v, k) at position pos of slot s's run, growing the
+// run if full.
+func (g *Graph) insertEntry(s int32, pos int32, v NodeID, k int32) {
+	r := &g.recs[s]
+	if r.n == r.cap {
+		newCap := int32(4)
+		if r.cap > 0 {
+			newCap = growCap(r.cap)
+		}
+		newOff := g.allocRun(newCap)
+		copy(g.poolV[newOff:newOff+r.n], g.poolV[r.off:r.off+r.n])
+		copy(g.poolM[newOff:newOff+r.n], g.poolM[r.off:r.off+r.n])
+		g.freeRun(r.off, r.cap)
+		r.off, r.cap = newOff, newCap
+	}
+	lo, hi := r.off, r.off+r.n
+	copy(g.poolV[lo+pos+1:hi+1], g.poolV[lo+pos:hi])
+	copy(g.poolM[lo+pos+1:hi+1], g.poolM[lo+pos:hi])
+	g.poolV[lo+pos] = v
+	g.poolM[lo+pos] = k
+	r.n++
+	r.deg += k
+	if v != g.ids[s] {
+		r.dist++
 	}
 }
 
-// RemoveNode deletes u and all incident edges. It is a no-op if u is absent.
-func (g *Graph) RemoveNode(u NodeID) {
-	nbrs, ok := g.adj[u]
-	if !ok {
+// removeEntry deletes the entry at position pos of slot s's run, shrinking
+// the run when it is mostly empty.
+func (g *Graph) removeEntry(s int32, pos int32) {
+	r := &g.recs[s]
+	lo, hi := r.off, r.off+r.n
+	if g.poolV[lo+pos] != g.ids[s] {
+		r.dist--
+	}
+	copy(g.poolV[lo+pos:hi-1], g.poolV[lo+pos+1:hi])
+	copy(g.poolM[lo+pos:hi-1], g.poolM[lo+pos+1:hi])
+	r.n--
+	if r.cap > 4 && r.n*2 <= r.cap {
+		g.shrinkRun(s)
+	}
+}
+
+// shrinkRun moves slot s's run to a snug capacity (live entries plus two
+// spare cells, rounded to the class size), releasing the old run to the
+// free lists. This is what keeps memory tracking the live degree rather
+// than its high-water mark: a staggered type-2 rebuild transiently
+// multiplies node degrees, and after it commits the big runs return to
+// the shared pool for the next rebuild's cohort to reuse (a per-node map
+// can never hand its spare buckets to a neighbor). An add/remove cycle at
+// the boundary costs a small copy through the free lists, never an
+// allocation.
+func (g *Graph) shrinkRun(s int32) {
+	r := &g.recs[s]
+	newCap := (r.n + 2 + 3) &^ 3
+	if newCap < 4 {
+		newCap = 4
+	}
+	if newCap >= r.cap {
 		return
 	}
-	for v, k := range nbrs {
-		if v == u {
-			g.edges -= k
-			continue
+	newOff := g.allocRun(newCap)
+	copy(g.poolV[newOff:newOff+r.n], g.poolV[r.off:r.off+r.n])
+	copy(g.poolM[newOff:newOff+r.n], g.poolM[r.off:r.off+r.n])
+	g.freeRun(r.off, r.cap)
+	r.off, r.cap = newOff, newCap
+}
+
+// addHalf adds k multiplicities of neighbor v to slot s's run.
+func (g *Graph) addHalf(s int32, v NodeID, k int32) {
+	pos, ok := g.findNbr(s, v)
+	if ok {
+		r := &g.recs[s]
+		if g.poolM[r.off+pos] > 1<<30-k {
+			panic(fmt.Sprintf("graph: multiplicity of {%d,%d} exceeds the int32 arena domain", g.ids[s], v))
 		}
-		g.edges -= k
-		delete(g.adj[v], u)
+		g.poolM[r.off+pos] += k
+		r.deg += k
+		return
 	}
-	delete(g.adj, u)
+	g.insertEntry(s, pos, v, k)
+}
+
+// removeHalf removes k multiplicities of neighbor v from slot s's run; the
+// caller guarantees at least k are present.
+func (g *Graph) removeHalf(s int32, v NodeID, k int32) {
+	pos, ok := g.findNbr(s, v)
+	if !ok {
+		panic(fmt.Sprintf("graph: removeHalf of absent neighbor %d", v))
+	}
+	r := &g.recs[s]
+	g.poolM[r.off+pos] -= k
+	r.deg -= k
+	if g.poolM[r.off+pos] == 0 {
+		g.removeEntry(s, pos)
+	}
 }
 
 // AddEdge adds one undirected edge {u,v}, creating the endpoints if needed.
 // Adding an existing edge increases its multiplicity.
-func (g *Graph) AddEdge(u, v NodeID) {
-	g.AddNode(u)
-	g.AddNode(v)
-	g.adj[u][v]++
-	if u != v {
-		g.adj[v][u]++
+func (g *Graph) AddEdge(u, v NodeID) { g.AddEdgeMult(u, v, 1) }
+
+// AddEdgeMult adds k parallel {u,v} edges in one step, creating the
+// endpoints if needed. Quotient and the rebuild diff replay use this to
+// apply a multiplicity change in O(log deg) instead of O(k) single-edge
+// inserts. k <= 0 is a no-op. Multiplicities are stored as int32 (a
+// contraction never exceeds 3 per pair); a k beyond that domain panics
+// rather than silently truncating.
+func (g *Graph) AddEdgeMult(u, v NodeID, k int) {
+	if k <= 0 {
+		return
 	}
-	g.edges++
+	if k > 1<<30 {
+		panic(fmt.Sprintf("graph: multiplicity %d exceeds the int32 arena domain", k))
+	}
+	g.maybeCompact()
+	su := g.slotOf(u)
+	sv := g.slotOf(v)
+	g.addHalf(su, v, int32(k))
+	if u != v {
+		g.addHalf(sv, u, int32(k))
+	}
+	g.edges += k
 }
 
 // RemoveEdge removes one multiplicity of edge {u,v}. It reports whether an
 // edge was removed.
-func (g *Graph) RemoveEdge(u, v NodeID) bool {
-	nbrs, ok := g.adj[u]
+func (g *Graph) RemoveEdge(u, v NodeID) bool { return g.RemoveEdgeMult(u, v, 1) == 1 }
+
+// RemoveEdgeMult removes up to k multiplicities of edge {u,v} and returns
+// the number actually removed (0 when the edge or either endpoint is
+// absent).
+func (g *Graph) RemoveEdgeMult(u, v NodeID, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	g.maybeCompact()
+	su, ok := g.index[u]
 	if !ok {
-		return false
+		return 0
 	}
-	k, ok := nbrs[v]
-	if !ok || k == 0 {
-		return false
+	pos, ok := g.findNbr(su, v)
+	if !ok {
+		return 0
 	}
-	if k == 1 {
-		delete(nbrs, v)
-	} else {
-		nbrs[v] = k - 1
+	r := &g.recs[su]
+	if have := int(g.poolM[r.off+pos]); have < k {
+		k = have
+	}
+	// u's entry position is already known; decrement in place instead of
+	// re-searching through removeHalf (this is the churn hot path).
+	g.poolM[r.off+pos] -= int32(k)
+	r.deg -= int32(k)
+	if g.poolM[r.off+pos] == 0 {
+		g.removeEntry(su, pos)
 	}
 	if u != v {
-		if k2 := g.adj[v][u]; k2 == 1 {
-			delete(g.adj[v], u)
-		} else {
-			g.adj[v][u] = k2 - 1
+		g.removeHalf(g.index[v], u, int32(k))
+	}
+	g.edges -= k
+	return k
+}
+
+// RemoveNode deletes u and all incident edges. It is a no-op if u is absent.
+func (g *Graph) RemoveNode(u NodeID) {
+	g.maybeCompact()
+	su, ok := g.index[u]
+	if !ok {
+		return
+	}
+	rr := g.recs[su]
+	for i := rr.off; i < rr.off+rr.n; i++ {
+		v, m := g.poolV[i], g.poolM[i]
+		g.edges -= int(m)
+		if v != u {
+			g.removeHalf(g.index[v], u, m)
 		}
 	}
-	g.edges--
-	return true
+	r := &g.recs[su]
+	g.freeRun(r.off, r.cap)
+	*r = nodeRec{}
+	g.freeSlots = append(g.freeSlots, su)
+	delete(g.index, u)
 }
 
 // Multiplicity returns the number of parallel {u,v} edges.
 func (g *Graph) Multiplicity(u, v NodeID) int {
-	if nbrs, ok := g.adj[u]; ok {
-		return nbrs[v]
+	s, ok := g.index[u]
+	if !ok {
+		return 0
 	}
-	return 0
+	pos, ok := g.findNbr(s, v)
+	if !ok {
+		return 0
+	}
+	return int(g.poolM[g.recs[s].off+pos])
 }
 
 // HasEdge reports whether at least one {u,v} edge exists.
@@ -136,31 +444,83 @@ func (g *Graph) HasEdge(u, v NodeID) bool { return g.Multiplicity(u, v) > 0 }
 
 // Degree returns the multigraph degree of u: the sum of incident edge
 // multiplicities, a self-loop counting 1. Returns 0 for absent nodes.
+// The arena caches it, so this is O(1).
 func (g *Graph) Degree(u NodeID) int {
-	d := 0
-	for _, k := range g.adj[u] {
-		d += k
+	if s, ok := g.index[u]; ok {
+		return int(g.recs[s].deg)
 	}
-	return d
+	return 0
 }
 
 // DistinctDegree returns the number of distinct neighbors of u (excluding
 // u itself). This is the number of actual network connections a node
-// maintains, the quantity bounded by Theorem 1.
+// maintains, the quantity bounded by Theorem 1. O(1) via the slot cache.
 func (g *Graph) DistinctDegree(u NodeID) int {
-	d := 0
-	for v := range g.adj[u] {
-		if v != u {
-			d++
+	if s, ok := g.index[u]; ok {
+		return int(g.recs[s].dist)
+	}
+	return 0
+}
+
+// ForEachNeighbor calls fn for each distinct neighbor of u in ascending
+// NodeID order (including u itself when u has a self-loop) with the
+// multiplicity of the connecting edge, stopping early if fn returns false.
+// It reads the arena in place and never allocates; fn must not mutate g.
+func (g *Graph) ForEachNeighbor(u NodeID, fn func(v NodeID, mult int) bool) {
+	s, ok := g.index[u]
+	if !ok {
+		return
+	}
+	r := g.recs[s]
+	for i := r.off; i < r.off+r.n; i++ {
+		if !fn(g.poolV[i], int(g.poolM[i])) {
+			return
 		}
 	}
-	return d
+}
+
+// RandomNeighborStep picks a neighbor of u proportionally to edge
+// multiplicity using the random word r, excluding the node exclude (pass
+// -1 to disable; self-loops are legitimate steps that stay put). It is the
+// allocation-free walk-hop primitive: one pass computes the total weight,
+// a second selects, both over u's contiguous run. Neighbors are considered
+// in ascending NodeID order, so for a given r the choice is identical to
+// the historical sorted-slice implementation — seeded walks reproduce
+// exactly.
+func (g *Graph) RandomNeighborStep(u, exclude NodeID, r uint64) (NodeID, bool) {
+	s, ok := g.index[u]
+	if !ok {
+		return 0, false
+	}
+	rec := g.recs[s]
+	lo, hi := rec.off, rec.off+rec.n
+	total := int32(0)
+	for i := lo; i < hi; i++ {
+		if g.poolV[i] == exclude {
+			continue
+		}
+		total += g.poolM[i]
+	}
+	if total == 0 {
+		return 0, false
+	}
+	pick := int32(r % uint64(total))
+	for i := lo; i < hi; i++ {
+		if g.poolV[i] == exclude {
+			continue
+		}
+		pick -= g.poolM[i]
+		if pick < 0 {
+			return g.poolV[i], true
+		}
+	}
+	return 0, false
 }
 
 // Nodes returns all node IDs in ascending order.
 func (g *Graph) Nodes() []NodeID {
-	out := make([]NodeID, 0, len(g.adj))
-	for u := range g.adj {
+	out := make([]NodeID, 0, len(g.index))
+	for u := range g.index {
 		out = append(out, u)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -168,28 +528,35 @@ func (g *Graph) Nodes() []NodeID {
 }
 
 // Neighbors returns the distinct neighbors of u in ascending order,
-// including u itself when u has a self-loop.
+// including u itself when u has a self-loop. Hot paths should prefer
+// ForEachNeighbor / RandomNeighborStep, which do not allocate.
 func (g *Graph) Neighbors(u NodeID) []NodeID {
-	nbrs := g.adj[u]
-	out := make([]NodeID, 0, len(nbrs))
-	for v := range nbrs {
-		out = append(out, v)
+	s, ok := g.index[u]
+	if !ok {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	r := g.recs[s]
+	return append([]NodeID(nil), g.poolV[r.off:r.off+r.n]...)
 }
 
 // WeightedNeighbors returns the distinct neighbors of u in ascending order
-// together with the multiplicity of each connecting edge. Random walks use
-// this to step proportionally to multiplicity, matching the stationary
-// distribution pi(x) = d_x / 2|E| in the proof of Lemma 2.
+// together with the multiplicity of each connecting edge. Random walks
+// step proportionally to multiplicity, matching the stationary
+// distribution pi(x) = d_x / 2|E| in the proof of Lemma 2; walk hot paths
+// use RandomNeighborStep, which makes the same choice without building
+// these slices.
 func (g *Graph) WeightedNeighbors(u NodeID) (nbrs []NodeID, mult []int) {
-	ns := g.Neighbors(u)
-	ms := make([]int, len(ns))
-	for i, v := range ns {
-		ms[i] = g.adj[u][v]
+	s, ok := g.index[u]
+	if !ok {
+		return nil, nil
 	}
-	return ns, ms
+	r := g.recs[s]
+	nbrs = append([]NodeID(nil), g.poolV[r.off:r.off+r.n]...)
+	mult = make([]int, r.n)
+	for i := int32(0); i < r.n; i++ {
+		mult[i] = int(g.poolM[r.off+i])
+	}
+	return nbrs, mult
 }
 
 // Edge is an undirected edge with multiplicity.
@@ -211,42 +578,37 @@ type EdgeDelta struct {
 func (g *Graph) Edges() []Edge {
 	var out []Edge
 	for _, u := range g.Nodes() {
-		for v, k := range g.adj[u] {
-			if v < u {
+		r := g.recs[g.index[u]]
+		for i := r.off; i < r.off+r.n; i++ {
+			if g.poolV[i] < u {
 				continue
 			}
-			out = append(out, Edge{U: u, V: v, Mult: k})
+			out = append(out, Edge{U: u, V: g.poolV[i], Mult: int(g.poolM[i])})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
 	return out
 }
 
 // MaxDegree returns the maximum multigraph degree, or 0 for empty graphs.
 func (g *Graph) MaxDegree() int {
-	m := 0
-	for u := range g.adj {
-		if d := g.Degree(u); d > m {
+	m := int32(0)
+	for _, s := range g.index {
+		if d := g.recs[s].deg; d > m {
 			m = d
 		}
 	}
-	return m
+	return int(m)
 }
 
 // MaxDistinctDegree returns the maximum distinct-neighbor degree.
 func (g *Graph) MaxDistinctDegree() int {
-	m := 0
-	for u := range g.adj {
-		if d := g.DistinctDegree(u); d > m {
+	m := int32(0)
+	for _, s := range g.index {
+		if d := g.recs[s].dist; d > m {
 			m = d
 		}
 	}
-	return m
+	return int(m)
 }
 
 // BFSDistances returns a map of shortest-path hop distances from src.
@@ -260,9 +622,12 @@ func (g *Graph) BFSDistances(src NodeID) map[NodeID]int {
 	for len(frontier) > 0 {
 		var next []NodeID
 		for _, u := range frontier {
-			for v := range g.adj[u] {
+			du := dist[u]
+			r := g.recs[g.index[u]]
+			for i := r.off; i < r.off+r.n; i++ {
+				v := g.poolV[i]
 				if _, seen := dist[v]; !seen {
-					dist[v] = dist[u] + 1
+					dist[v] = du + 1
 					next = append(next, v)
 				}
 			}
@@ -286,7 +651,9 @@ func (g *Graph) ShortestPath(src, dst NodeID) []NodeID {
 	for len(frontier) > 0 {
 		var next []NodeID
 		for _, u := range frontier {
-			for _, v := range g.Neighbors(u) {
+			r := g.recs[g.index[u]]
+			for i := r.off; i < r.off+r.n; i++ {
+				v := g.poolV[i]
 				if _, seen := parent[v]; seen {
 					continue
 				}
@@ -315,27 +682,27 @@ func (g *Graph) ShortestPath(src, dst NodeID) []NodeID {
 // Connected reports whether the graph is connected (empty and single-node
 // graphs count as connected).
 func (g *Graph) Connected() bool {
-	if len(g.adj) <= 1 {
+	if len(g.index) <= 1 {
 		return true
 	}
 	var src NodeID
-	for u := range g.adj {
+	for u := range g.index {
 		src = u
 		break
 	}
-	return len(g.BFSDistances(src)) == len(g.adj)
+	return len(g.BFSDistances(src)) == len(g.index)
 }
 
 // Diameter returns the exact hop diameter via all-sources BFS, or -1 if
 // the graph is disconnected or empty.
 func (g *Graph) Diameter() int {
-	if len(g.adj) == 0 {
+	if len(g.index) == 0 {
 		return -1
 	}
 	diam := 0
-	for u := range g.adj {
+	for u := range g.index {
 		dist := g.BFSDistances(u)
-		if len(dist) != len(g.adj) {
+		if len(dist) != len(g.index) {
 			return -1
 		}
 		for _, d := range dist {
@@ -351,7 +718,7 @@ func (g *Graph) Diameter() int {
 // node is unreachable.
 func (g *Graph) Eccentricity(src NodeID) int {
 	dist := g.BFSDistances(src)
-	if len(dist) != len(g.adj) {
+	if len(dist) != len(g.index) {
 		return -1
 	}
 	ecc := 0
@@ -370,14 +737,11 @@ func (g *Graph) Eccentricity(src NodeID) int {
 // only grow), used to derive the real network from the virtual graph.
 func (g *Graph) Quotient(phi func(NodeID) NodeID) *Graph {
 	q := New()
-	for u := range g.adj {
+	for u := range g.index {
 		q.AddNode(phi(u))
 	}
 	for _, e := range g.Edges() {
-		pu, pv := phi(e.U), phi(e.V)
-		for i := 0; i < e.Mult; i++ {
-			q.AddEdge(pu, pv)
-		}
+		q.AddEdgeMult(phi(e.U), phi(e.V), e.Mult)
 	}
 	return q
 }
@@ -409,14 +773,15 @@ func (g *Graph) ToCSR() *CSR {
 	}
 	nnz := 0
 	for _, u := range ids {
-		nnz += len(g.adj[u])
+		nnz += int(g.recs[g.index[u]].n)
 	}
 	c.Adj = make([]int32, 0, nnz)
 	c.Wt = make([]float64, 0, nnz)
 	for i, u := range ids {
-		for _, v := range g.Neighbors(u) {
-			c.Adj = append(c.Adj, int32(idx[v]))
-			m := float64(g.adj[u][v])
+		r := g.recs[g.index[u]]
+		for j := r.off; j < r.off+r.n; j++ {
+			c.Adj = append(c.Adj, int32(idx[g.poolV[j]]))
+			m := float64(g.poolM[j])
 			c.Wt = append(c.Wt, m)
 			c.Deg[i] += m
 		}
@@ -425,28 +790,81 @@ func (g *Graph) ToCSR() *CSR {
 	return c
 }
 
-// Validate checks internal adjacency symmetry and edge accounting, for use
-// in tests and the DEX invariant checker. It returns an error describing
-// the first inconsistency found.
+// ArenaStats describes the arena's occupancy, for memory gates and the
+// dexsim -memstats report.
+type ArenaStats struct {
+	Nodes     int // live nodes
+	LiveCells int // neighbor entries in use (sum of run lengths)
+	LiveCaps  int // cells reserved by live runs (sum of run capacities)
+	PoolLen   int // pool cells carved so far
+	PoolCap   int // pool cells allocated (backing array capacity)
+	FreeCells int // cells parked on the free lists
+}
+
+// Stats reports the arena's current occupancy.
+func (g *Graph) Stats() ArenaStats {
+	st := ArenaStats{
+		Nodes:     len(g.index),
+		PoolLen:   len(g.poolV),
+		PoolCap:   cap(g.poolV),
+		FreeCells: g.freeCells,
+	}
+	for _, s := range g.index {
+		st.LiveCells += int(g.recs[s].n)
+		st.LiveCaps += int(g.recs[s].cap)
+	}
+	return st
+}
+
+// Validate checks internal consistency — arena run ordering, adjacency
+// symmetry, cached degree accounting, and the handshake identity — for
+// use in tests and the DEX invariant checker. It returns an error
+// describing the first inconsistency found.
 func (g *Graph) Validate() error {
 	total := 0
-	for u, nbrs := range g.adj {
-		for v, k := range nbrs {
-			if k <= 0 {
-				return fmt.Errorf("graph: nonpositive multiplicity %d on {%d,%d}", k, u, v)
+	for u, s := range g.index {
+		if g.ids[s] != u {
+			return fmt.Errorf("graph: slot %d holds id %d, index says %d", s, g.ids[s], u)
+		}
+		r := g.recs[s]
+		if r.n > r.cap || r.n < 0 {
+			return fmt.Errorf("graph: node %d run length %d exceeds capacity %d", u, r.n, r.cap)
+		}
+		deg, dist := int32(0), int32(0)
+		var prev NodeID
+		for i := int32(0); i < r.n; i++ {
+			v, m := g.poolV[r.off+i], g.poolM[r.off+i]
+			if i > 0 && v <= prev {
+				return fmt.Errorf("graph: node %d run not strictly sorted at %d", u, v)
 			}
+			prev = v
+			if m <= 0 {
+				return fmt.Errorf("graph: nonpositive multiplicity %d on {%d,%d}", m, u, v)
+			}
+			deg += m
 			if v == u {
-				total += 2 * k // count loops once overall
+				total += 2 * int(m) // count loops once overall
 				continue
 			}
-			back, ok := g.adj[v]
+			dist++
+			sv, ok := g.index[v]
 			if !ok {
 				return fmt.Errorf("graph: dangling neighbor %d of %d", v, u)
 			}
-			if back[u] != k {
-				return fmt.Errorf("graph: asymmetric multiplicity {%d,%d}: %d vs %d", u, v, k, back[u])
+			pos, ok := g.findNbr(sv, u)
+			if !ok {
+				return fmt.Errorf("graph: asymmetric edge {%d,%d}: no back entry", u, v)
 			}
-			total += k
+			if back := g.poolM[g.recs[sv].off+pos]; back != m {
+				return fmt.Errorf("graph: asymmetric multiplicity {%d,%d}: %d vs %d", u, v, m, back)
+			}
+			total += int(m)
+		}
+		if deg != r.deg {
+			return fmt.Errorf("graph: node %d cached degree %d, actual %d", u, r.deg, deg)
+		}
+		if dist != r.dist {
+			return fmt.Errorf("graph: node %d cached distinct degree %d, actual %d", u, r.dist, dist)
 		}
 	}
 	if total != 2*g.edges {

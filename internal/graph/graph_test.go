@@ -221,6 +221,31 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+// TestCloneCarriesFreeAccounting pins a regression: a clone must copy the
+// free-cell counter along with the free lists, or its compaction trigger
+// and Stats never see the parked runs it inherited.
+func TestCloneCarriesFreeAccounting(t *testing.T) {
+	g := New()
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 12; j++ {
+			g.AddEdge(NodeID(i), NodeID(100+j))
+		}
+	}
+	for i := 0; i < 32; i++ {
+		g.RemoveNode(NodeID(i)) // parks the grown runs on the free lists
+	}
+	if g.Stats().FreeCells == 0 {
+		t.Fatal("churn left nothing on the free lists; test needs a heavier trace")
+	}
+	c := g.Clone()
+	if got, want := c.Stats().FreeCells, g.Stats().FreeCells; got != want {
+		t.Fatalf("clone FreeCells = %d, original %d", got, want)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: random edit sequences keep the graph internally consistent and
 // the handshake identity holds.
 func TestRandomEditsStayValidQuick(t *testing.T) {
@@ -286,6 +311,164 @@ func TestBFSTriangleQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestArenaMatchesRef is the deterministic arena-vs-Ref differential
+// suite: long seeded churn traces (adds, removes, node deletions, bulk
+// multiplicity ops, walk steps) applied to both representations with the
+// full observable state compared after every operation. FuzzGraphOps
+// explores the same oracle coverage-guided; this test pins a broad sample
+// of it into every ordinary `go test` run.
+func TestArenaMatchesRef(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		r := NewRef()
+		for op := 0; op < 1200; op++ {
+			u := NodeID(rng.Intn(40))
+			v := NodeID(rng.Intn(40))
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3:
+				g.AddEdge(u, v)
+				r.AddEdge(u, v)
+			case 4, 5:
+				if got, want := g.RemoveEdge(u, v), r.RemoveEdge(u, v); got != want {
+					t.Fatalf("seed %d op %d: RemoveEdge(%d,%d) arena %v ref %v", seed, op, u, v, got, want)
+				}
+			case 6:
+				k := 1 + rng.Intn(5)
+				g.AddEdgeMult(u, v, k)
+				r.AddEdgeMult(u, v, k)
+			case 7:
+				k := 1 + rng.Intn(5)
+				if got, want := g.RemoveEdgeMult(u, v, k), r.RemoveEdgeMult(u, v, k); got != want {
+					t.Fatalf("seed %d op %d: RemoveEdgeMult arena %d ref %d", seed, op, got, want)
+				}
+			case 8:
+				g.RemoveNode(u)
+				r.RemoveNode(u)
+			case 9:
+				z := rng.Uint64()
+				gn, gok := g.RandomNeighborStep(u, -1, z)
+				rn, rok := r.RandomNeighborStep(u, -1, z)
+				if gn != rn || gok != rok {
+					t.Fatalf("seed %d op %d: step from %d diverged: arena (%d,%v) ref (%d,%v)",
+						seed, op, u, gn, gok, rn, rok)
+				}
+			}
+			if err := diffGraphs(g, r); err != nil {
+				t.Fatalf("seed %d op %d: %v", seed, op, err)
+			}
+		}
+	}
+}
+
+// TestForEachNeighborOrderAndStop pins the deterministic contract walk
+// reproducibility rests on: ascending NodeID order, multiplicities
+// included, early stop honored.
+func TestForEachNeighborOrderAndStop(t *testing.T) {
+	g := New()
+	g.AddEdge(5, 9)
+	g.AddEdge(5, 2)
+	g.AddEdge(5, 2)
+	g.AddEdge(5, 5)
+	var got []NodeID
+	var mults []int
+	g.ForEachNeighbor(5, func(v NodeID, m int) bool {
+		got = append(got, v)
+		mults = append(mults, m)
+		return true
+	})
+	want := []NodeID{2, 5, 9}
+	wantM := []int{2, 1, 1}
+	for i := range want {
+		if got[i] != want[i] || mults[i] != wantM[i] {
+			t.Fatalf("ForEachNeighbor order = %v/%v, want %v/%v", got, mults, want, wantM)
+		}
+	}
+	calls := 0
+	g.ForEachNeighbor(5, func(NodeID, int) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("early stop ignored: %d calls", calls)
+	}
+	g.ForEachNeighbor(404, func(NodeID, int) bool { t.Fatal("absent node visited"); return false })
+}
+
+// TestRandomNeighborStepMatchesWeighted confirms RandomNeighborStep makes
+// the same choice the slice-based WeightedNeighbors selection would, for
+// every residue and with exclusion — the property that keeps seeded
+// experiment traces identical across the representation swap.
+func TestRandomNeighborStepMatchesWeighted(t *testing.T) {
+	g := cycle(9)
+	g.AddEdge(0, 3)
+	g.AddEdge(0, 3)
+	g.AddEdge(0, 0)
+	for _, exclude := range []NodeID{-1, 3} {
+		nbrs, mult := g.WeightedNeighbors(0)
+		total := 0
+		for i, v := range nbrs {
+			if v == exclude {
+				continue
+			}
+			total += mult[i]
+		}
+		for r := uint64(0); r < uint64(3*total); r++ {
+			pick := int(r % uint64(total))
+			var want NodeID
+			for i, v := range nbrs {
+				if v == exclude {
+					continue
+				}
+				pick -= mult[i]
+				if pick < 0 {
+					want = v
+					break
+				}
+			}
+			got, ok := g.RandomNeighborStep(0, exclude, r)
+			if !ok || got != want {
+				t.Fatalf("r=%d exclude=%d: got (%d,%v), want %d", r, exclude, got, ok, want)
+			}
+		}
+	}
+	if _, ok := New().RandomNeighborStep(1, -1, 0); ok {
+		t.Fatal("step from absent node succeeded")
+	}
+	iso := New()
+	iso.AddNode(7)
+	if _, ok := iso.RandomNeighborStep(7, -1, 5); ok {
+		t.Fatal("step from isolated node succeeded")
+	}
+}
+
+// TestRunRecycling drives a slot/run churn pattern and checks the arena
+// recycles rather than leaks: after many node lifecycles the pool stays
+// bounded.
+func TestRunRecycling(t *testing.T) {
+	g := New()
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 16; i++ {
+			for j := 0; j < 16; j++ {
+				if i != j {
+					g.AddEdge(NodeID(i), NodeID(j))
+				}
+			}
+		}
+		for i := 0; i < 16; i++ {
+			g.RemoveNode(NodeID(i))
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("graph not empty: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	// 16 nodes of distinct degree 15 need runs of capacity 16: even with
+	// growth waste the pool should stay a small constant multiple.
+	if len(g.poolV) > 16*64 {
+		t.Fatalf("pool grew to %d entries: runs are not recycled", len(g.poolV))
 	}
 }
 
