@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race vet fmt check bench bench-graph fuzz fuzz-churn fuzz-graph sim sim-scale dht experiments
+.PHONY: all build test test-race vet fmt check bench bench-graph bench-recovery fuzz fuzz-churn fuzz-graph sim sim-scale dht experiments
 
 all: check
 
@@ -11,11 +11,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The repository's concurrency contract is single-goroutine (see the
-# dex package doc); the race-enabled run of the public API and the core
-# churn tests documents that no hidden sharing violates it.
+# Race gate for the concurrency layer: the dex.Concurrent façade
+# (goroutines hammering ops + subscribers + snapshot readers), the
+# parallel type-1 walk machinery in core, and the congest walk pool.
 test-race:
-	$(GO) test -race ./dex/... ./internal/core/...
+	$(GO) test -race ./dex/... ./internal/core/... ./internal/congest/...
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,15 @@ bench:
 # report 0 allocs/op).
 bench-graph:
 	$(GO) test ./internal/graph -run '^$$' -bench 'WalkHop|GraphChurn' -benchtime 100000x
+
+# Parallel-recovery benchmarks at 1/4/8 walk workers. Seeded runs are
+# byte-identical at every width (enforced by TestParallelMatchesSerial*),
+# so the deltas are pure wall-clock: storms must sit at parity on dense
+# steady-state churn and on single-CPU hosts; WalkBatchPool bounds the
+# multi-core scaling of the walk substrate the retry tail dispatches.
+bench-recovery:
+	$(GO) test -run '^$$' -bench RecoveryParallel -benchtime 50x .
+	$(GO) test ./internal/congest -run '^$$' -bench WalkBatchPool -benchtime 200x
 
 # Differential fuzzing, one target per oracle tier: FuzzChurnTrace
 # replays decoded operation traces under the incremental-vs-full-rebuild

@@ -325,6 +325,64 @@ func BenchmarkChurnSampledAudit(b *testing.B) {
 	benchChurnMaintenance(b, false, dex.WithAuditMode(dex.AuditSampled))
 }
 
+// --- PAR: parallel type-1 recovery ----------------------------------------------------
+//
+// BenchmarkRecoveryParallel prices the worker pool on multi-vertex
+// recovery storms: each op deletes `stormK` random nodes and restores
+// the size with one `stormK`-member InsertBatch. All widths run the
+// same seed, and the serial-vs-parallel differential tests guarantee
+// the recovery work is byte-identical — the ns/op delta is pure
+// wall-clock. Interpreting it: in the dense steady state DEX walks
+// resolve in O(1) expected hops (Lemma 2), so widths must sit at
+// parity (the engine keeps short walks serial and only fans out
+// scarce-regime batches — see internal/core/parallel.go); speedup
+// appears on multi-core hosts when churn pressure makes acceptor sets
+// scarce, and BenchmarkWalkBatchPool in internal/congest bounds what
+// the walk substrate itself can return.
+
+const stormN0 = 8192
+const stormK = 24
+
+func BenchmarkRecoveryParallel(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			nw, err := dex.New(
+				dex.WithInitialSize(stormN0),
+				dex.WithSeed(23),
+				dex.WithWorkers(workers),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer nw.Close()
+			rng := rand.New(rand.NewSource(23))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < stormK; k++ {
+					if err := nw.Delete(nw.SampleNode(rng)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				specs := make([]dex.InsertSpec, stormK)
+				for j := range specs {
+					specs[j] = dex.InsertSpec{ID: nw.FreshID(), Attach: nw.SampleNode(rng)}
+				}
+				if err := nw.InsertBatch(specs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			hits, misses, tail := nw.SpecStats()
+			if total := hits + misses; total > 0 {
+				b.ReportMetric(float64(hits)/float64(total), "spec-hit-rate")
+			}
+			if tail > 0 {
+				b.ReportMetric(float64(tail)/float64(b.N), "tail-walks/op")
+			}
+		})
+	}
+}
+
 // --- FIG-W: walk concentration --------------------------------------------------------
 
 func BenchmarkFig_WalkHitRate(b *testing.B) {

@@ -40,6 +40,7 @@ func main() {
 		histCap  = flag.Int("history-cap", -1, "cap per-step metrics history (-1=auto, 0=unbounded)")
 		trace    = flag.Int("trace", 0, "print every k-th step's metrics (0=off)")
 		memstats = flag.Bool("memstats", false, "print heap and adjacency-arena memory summary after the run")
+		workers  = flag.Int("workers", 1, "parallel type-1 walk workers (seeded runs are identical at any width)")
 	)
 	flag.Parse()
 
@@ -75,10 +76,12 @@ func main() {
 		dex.WithSeed(*seed),
 		dex.WithAuditMode(auditMode),
 		dex.WithHistoryCap(*histCap),
+		dex.WithWorkers(*workers),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer nw.Close()
 
 	var adv harness.Adversary
 	switch *advName {
@@ -106,8 +109,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("DEX self-healing expander: n0=%d p0=%d mode=%s adversary=%s audit=%s\n",
-		*n0, nw.P(), recovery, adv.Name(), auditMode)
+	fmt.Printf("DEX self-healing expander: n0=%d p0=%d mode=%s adversary=%s audit=%s workers=%d\n",
+		*n0, nw.P(), recovery, adv.Name(), auditMode, *workers)
 	recs, err := harness.Run(nw, adv, harness.RunConfig{
 		Steps: *steps, Seed: *seed, GapEvery: *gapEvery, DegEvery: *degEvery,
 	})
@@ -144,6 +147,11 @@ func main() {
 			float64(ms.HeapAlloc)/(1<<20), float64(ms.HeapAlloc)/float64(n),
 			st.LiveCells, st.PoolCap, float64(st.PoolCap*12)/(1<<20), float64(st.PoolCap*12)/float64(n),
 			st.FreeCells)
+	}
+	if *workers > 1 {
+		hits, misses, tail := nw.SpecStats()
+		fmt.Printf("parallel recovery: %d window walks committed, %d re-run serially, %d retry-tail walks\n",
+			hits, misses, tail)
 	}
 	tot := nw.Totals()
 	fmt.Printf("type-2 activity: %d inflation and %d deflation events (%d staggered rebuilds committed); invariants: ",

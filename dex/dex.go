@@ -36,12 +36,18 @@
 // Concurrency contract: a Network is single-goroutine. All methods,
 // including Subscribe and the delivery of events (which happens
 // synchronously, on the goroutine that called the mutating method), must
-// be serialized by the caller. This is the documented contract of the
-// current implementation; a concurrent façade is a planned follow-up
-// (see ROADMAP.md).
+// be serialized by the caller. Event callbacks must not mutate the
+// network re-entrantly — a mutating call from inside a callback returns
+// ErrReentrantOp instead of corrupting recovery state mid-step. For use
+// from multiple goroutines, wrap the network in a Concurrent façade
+// (NewConcurrent), which adds locking, an optional asynchronous event
+// dispatcher, and consistent Snapshot reads; WithWorkers additionally
+// parallelizes the recovery walks inside each operation without
+// changing any seeded outcome.
 package dex
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -109,6 +115,14 @@ var (
 	// ErrTooSmall reports a deletion that would shrink the network below
 	// the 4-node floor of the paper's construction.
 	ErrTooSmall = core.ErrTooSmall
+	// ErrReentrantOp reports a mutating operation attempted while another
+	// one is still in flight on the same network — which single-goroutine
+	// discipline only makes possible from inside an event callback.
+	// Re-entrant mutation would corrupt recovery state mid-step; decouple
+	// with NewConcurrent + WithAsyncEvents instead.
+	ErrReentrantOp = errors.New("dex: re-entrant operation during event delivery")
+	// ErrClosed reports an operation on a Concurrent façade after Close.
+	ErrClosed = errors.New("dex: network closed")
 )
 
 // Network is a DEX-maintained self-healing overlay. Construct it with
@@ -121,7 +135,22 @@ type Network struct {
 	subs     []subscriber
 	subsSnap []subscriber // cached delivery snapshot; nil after (un)subscribe
 	nextSub  int
+	inOp     bool // a mutating operation (and its event deliveries) is in flight
 }
+
+// enterOp guards the engine against re-entrant mutation: events are
+// delivered synchronously while an operation runs, so a callback
+// calling Insert/Delete would re-enter the engine mid-step and corrupt
+// its recovery state. Such calls fail fast with ErrReentrantOp.
+func (nw *Network) enterOp() error {
+	if nw.inOp {
+		return ErrReentrantOp
+	}
+	nw.inOp = true
+	return nil
+}
+
+func (nw *Network) exitOp() { nw.inOp = false }
 
 // New builds an initial DEX network, mapped onto Z(p0) for the smallest
 // prime p0 in (4*n0, 8*n0) exactly as Section 4's initialization
@@ -133,9 +162,18 @@ func New(opts ...Option) (*Network, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.err == nil && o.asyncBuf >= 0 {
+		o.err = errors.New("dex: WithAsyncEvents requires NewConcurrent")
+	}
 	if o.err != nil {
 		return nil, o.err
 	}
+	return newFromOptions(o)
+}
+
+// newFromOptions builds a network from parsed options (shared by New
+// and NewConcurrent).
+func newFromOptions(o options) (*Network, error) {
 	eng, err := core.New(o.initialSize, o.cfg)
 	if err != nil {
 		return nil, err
@@ -181,6 +219,10 @@ func (nw *Network) afterOp() error {
 // both) and runs recovery. It returns ErrDuplicateID or ErrUnknownNode
 // on illegal arguments.
 func (nw *Network) Insert(id, attach NodeID) error {
+	if err := nw.enterOp(); err != nil {
+		return err
+	}
+	defer nw.exitOp()
 	if err := nw.eng.Insert(id, attach); err != nil {
 		return err
 	}
@@ -191,6 +233,10 @@ func (nw *Network) Insert(id, attach NodeID) error {
 // for absent ids and ErrTooSmall when the network is at its minimum
 // size.
 func (nw *Network) Delete(id NodeID) error {
+	if err := nw.enterOp(); err != nil {
+		return err
+	}
+	defer nw.exitOp()
 	if err := nw.eng.Delete(id); err != nil {
 		return err
 	}
@@ -201,6 +247,10 @@ func (nw *Network) Delete(id NodeID) error {
 // (Corollary 2; at most a constant number of members may attach to any
 // single node).
 func (nw *Network) InsertBatch(specs []InsertSpec) error {
+	if err := nw.enterOp(); err != nil {
+		return err
+	}
+	defer nw.exitOp()
 	if err := nw.eng.InsertBatch(specs); err != nil {
 		return err
 	}
@@ -211,6 +261,10 @@ func (nw *Network) InsertBatch(specs []InsertSpec) error {
 // The batch must leave the remainder connected and every deleted node
 // with a surviving neighbor, per the paper's deletion model.
 func (nw *Network) DeleteBatch(ids []NodeID) error {
+	if err := nw.enterOp(); err != nil {
+		return err
+	}
+	defer nw.exitOp()
 	if err := nw.eng.DeleteBatch(ids); err != nil {
 		return err
 	}
@@ -307,7 +361,30 @@ func (nw *Network) FreshID() NodeID { return nw.eng.FreshID() }
 // from rng. Unlike Nodes it performs no sorting or allocation, so
 // adversaries and load generators can pick churn targets on
 // million-node networks without a per-step O(n) scan.
+//
+// RNG ownership: rng is caller-owned and is advanced by this call. A
+// *rand.Rand is not safe for concurrent use, so under the Concurrent
+// façade either keep a per-goroutine rng, or use (*Concurrent).Sample,
+// which draws from a façade-owned source under the façade's lock. Do
+// not pass the network's own source (WithRNG) here — sampling would
+// perturb the engine's seeded recovery choices.
 func (nw *Network) SampleNode(rng *rand.Rand) NodeID { return nw.eng.SampleNode(rng) }
+
+// Close releases the background worker pool created by WithWorkers, if
+// any. The network remains usable — a later operation recreates the
+// pool on demand — and serial networks never need Close.
+func (nw *Network) Close() error {
+	nw.eng.Close()
+	return nil
+}
+
+// SpecStats reports the parallel recovery path's activity: speculative
+// window walks committed straight from the worker pool (hits) versus
+// re-run serially after revalidation failed (misses), and the walks
+// run by the exact parallel retry tail (tail), which needs no
+// revalidation. All zero without WithWorkers. Observational only —
+// the recovery outcome is identical either way.
+func (nw *Network) SpecStats() (hits, misses, tail int) { return nw.eng.SpecStats() }
 
 // CheckInvariants mechanically verifies every structural invariant of
 // the paper (balanced mapping, load bounds, contraction-consistent

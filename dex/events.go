@@ -109,10 +109,14 @@ func (nw *Network) Subscribe(fn func(Event)) (cancel func()) {
 func (nw *Network) Subscribers() int { return len(nw.subs) }
 
 // publish delivers ev to every subscriber in registration order. It
-// iterates a snapshot so a callback cancelling itself (or a peer) does
-// not disturb the delivery round; the snapshot is cached and only
-// rebuilt after Subscribe/cancel, keeping the per-event hot path
-// (one event per migrated vertex) allocation-free.
+// pins the active round's snapshot in a local before iterating: a
+// callback that subscribes or cancels mid-delivery nils/replaces the
+// cached nw.subsSnap, and the pin guarantees the in-flight round keeps
+// delivering to exactly the set that was subscribed when the event
+// fired — late subscribers see only subsequent events, cancelled ones
+// finish the round they were part of. The snapshot is cached and only
+// rebuilt after Subscribe/cancel, keeping the per-event hot path (one
+// event per migrated vertex) allocation-free.
 func (nw *Network) publish(ev Event) {
 	if len(nw.subs) == 0 {
 		return
@@ -120,7 +124,8 @@ func (nw *Network) publish(ev Event) {
 	if nw.subsSnap == nil {
 		nw.subsSnap = append([]subscriber(nil), nw.subs...)
 	}
-	for _, s := range nw.subsSnap {
+	snap := nw.subsSnap
+	for _, s := range snap {
 		s.fn(ev)
 	}
 }

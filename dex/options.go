@@ -44,11 +44,12 @@ type options struct {
 	rng         *rand.Rand
 	audit       AuditMode
 	edgeEvents  bool
+	asyncBuf    int // WithAsyncEvents buffer; -1 = sync (NewConcurrent only)
 	err         error
 }
 
 func defaultOptions() options {
-	return options{initialSize: 64, cfg: core.DefaultConfig()}
+	return options{initialSize: 64, cfg: core.DefaultConfig(), asyncBuf: -1}
 }
 
 // Option configures a Network under construction; pass them to New.
@@ -172,6 +173,49 @@ func WithAuditMode(m AuditMode) Option {
 			return
 		}
 		o.audit = m
+	}
+}
+
+// WithWorkers sets the width of the worker pool that runs the type-1
+// recovery walks of one operation in parallel (default 1 = serial).
+// Each displaced vertex's random walk is independent, so multi-vertex
+// recoveries — deletion storms, batch insertions — fan their walk
+// batches out across the pool. Determinism is preserved exactly: for a
+// fixed seed the mapping, overlay, and per-step metrics are
+// byte-identical at every width (walk seeds are drawn in serial order
+// and every speculative result is revalidated before commit), so
+// Workers only changes wall-clock time. Networks built with n > 1
+// should be Closed when discarded promptly; otherwise the pool is
+// released when the network is garbage collected.
+func WithWorkers(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			o.fail("workers %d < 1", n)
+			return
+		}
+		o.cfg.Workers = n
+	}
+}
+
+// WithAsyncEvents moves event delivery onto a dedicated dispatcher
+// goroutine with the given initial queue capacity (>= 0): mutating
+// operations enqueue events in publish order and return without
+// running subscriber callbacks, the dispatcher drains the queue in
+// order, and Close flushes whatever is still buffered before
+// returning. Callbacks may therefore freely call back into the façade
+// — the deadlock and re-entrancy hazards of synchronous delivery do
+// not apply. The queue grows past its initial capacity rather than
+// blocking publishers (a bounded queue would deadlock the moment it
+// filled while a dispatcher callback held the façade lock), so a
+// subscriber that cannot keep up costs memory, never loss or
+// deadlock. Only meaningful for NewConcurrent; New rejects it.
+func WithAsyncEvents(buffer int) Option {
+	return func(o *options) {
+		if buffer < 0 {
+			o.fail("async event buffer %d < 0", buffer)
+			return
+		}
+		o.asyncBuf = buffer
 	}
 }
 

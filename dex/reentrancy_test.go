@@ -1,0 +1,150 @@
+package dex_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/dex"
+)
+
+// TestReentrantOpRejected: a subscriber that mutates the network from
+// inside its callback must get ErrReentrantOp — for every mutating
+// entry point — and the engine must come out of the step undamaged.
+func TestReentrantOpRejected(t *testing.T) {
+	nw, err := dex.New(dex.WithInitialSize(16), dex.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	var wrong []error
+	defer nw.Subscribe(func(ev dex.Event) {
+		if _, ok := ev.(dex.VertexTransferred); !ok {
+			return
+		}
+		attempts++
+		nodes := nw.Nodes()
+		for _, reentry := range []error{
+			nw.Insert(nw.FreshID(), nodes[0]),
+			nw.Delete(nodes[0]),
+			nw.InsertBatch([]dex.InsertSpec{{ID: nw.FreshID(), Attach: nodes[0]}}),
+			nw.DeleteBatch([]dex.NodeID{nodes[0]}),
+		} {
+			if !errors.Is(reentry, dex.ErrReentrantOp) {
+				wrong = append(wrong, reentry)
+			}
+		}
+	})()
+
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 120; i++ {
+		nodes := nw.Nodes()
+		if rng.Float64() < 0.6 || nw.Size() <= 6 {
+			err = nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))])
+		} else {
+			err = nw.Delete(nodes[rng.Intn(len(nodes))])
+		}
+		if err != nil {
+			t.Fatalf("outer op failed: %v", err)
+		}
+	}
+	if attempts == 0 {
+		t.Fatal("no vertex transfer fired; re-entrancy never exercised")
+	}
+	if len(wrong) != 0 {
+		t.Fatalf("re-entrant mutations not all rejected: %v", wrong)
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after rejected re-entrant ops: %v", err)
+	}
+	// The guard must clear once the step completes.
+	if err := nw.Insert(nw.FreshID(), nw.Nodes()[0]); err != nil {
+		t.Fatalf("post-step insert rejected: %v", err)
+	}
+}
+
+// TestSubscribeDuringDelivery: a callback subscribing mid-delivery must
+// not disturb the in-flight round; the nested subscriber starts
+// receiving with the next event, so its log is a strict suffix of the
+// full stream.
+func TestSubscribeDuringDelivery(t *testing.T) {
+	nw, err := dex.New(dex.WithInitialSize(16), dex.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all, nested []dex.Event
+	var cancelNested func()
+	defer nw.Subscribe(func(ev dex.Event) {
+		all = append(all, ev)
+		if cancelNested == nil {
+			cancelNested = nw.Subscribe(func(ev dex.Event) { nested = append(nested, ev) })
+		}
+	})()
+
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 60; i++ {
+		if err := nw.Insert(nw.FreshID(), nw.Nodes()[rng.Intn(nw.Size())]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cancelNested == nil {
+		t.Fatal("no event delivered; nested subscribe never happened")
+	}
+	defer cancelNested()
+	if len(nested) == 0 || len(nested) >= len(all) {
+		t.Fatalf("nested log has %d events, want a non-empty strict suffix of %d", len(nested), len(all))
+	}
+	suffix := all[len(all)-len(nested):]
+	for i := range nested {
+		if nested[i] != suffix[i] {
+			t.Fatalf("nested log diverges from stream suffix at %d: %#v vs %#v", i, nested[i], suffix[i])
+		}
+	}
+	// The trigger event itself must not have reached the nested
+	// subscriber (it subscribed during that delivery).
+	if all[len(all)-len(nested)-1] == nested[0] && len(all) == len(nested)+1 {
+		t.Fatal("nested subscriber received the event that was mid-delivery")
+	}
+}
+
+// TestCancelPeerDuringDelivery: an earlier subscriber cancelling a
+// later one mid-round lets the victim finish the in-flight event, then
+// stops all further delivery (the pinned-snapshot semantics).
+func TestCancelPeerDuringDelivery(t *testing.T) {
+	nw, err := dex.New(dex.WithInitialSize(16), dex.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	victimSeen := 0
+	var cancelVictim func()
+	atTrigger := -1
+	cancel := nw.Subscribe(func(dex.Event) {
+		seen++
+		if atTrigger < 0 {
+			atTrigger = seen
+			cancelVictim()
+		}
+	})
+	defer cancel()
+	cancelVictim = nw.Subscribe(func(dex.Event) { victimSeen++ })
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		if err := nw.Insert(nw.FreshID(), nw.Nodes()[rng.Intn(nw.Size())]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if atTrigger < 0 {
+		t.Fatal("no event delivered")
+	}
+	if victimSeen != 1 {
+		t.Fatalf("victim saw %d events, want exactly the in-flight one (1)", victimSeen)
+	}
+	if seen <= atTrigger {
+		t.Fatal("stream ended at the trigger; cancellation semantics unexercised")
+	}
+	if nw.Subscribers() != 1 {
+		t.Fatalf("Subscribers() = %d, want 1 after peer cancel", nw.Subscribers())
+	}
+}

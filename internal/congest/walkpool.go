@@ -1,0 +1,144 @@
+package congest
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// This file provides the worker-pool substrate for parallel type-1
+// recovery: the engine speculatively runs a batch of independent token
+// walks concurrently against the (momentarily quiescent) overlay, then
+// commits their outcomes serially. Determinism is the caller's job —
+// each walk carries its own splitmix64 seed drawn in serial order, and
+// the commit path revalidates every speculation — so the pool itself is
+// a plain fork-join executor over pure-read walks.
+
+// RandomWalkTraceInto performs exactly the walk RandomWalkDirect would
+// perform (same choices for the same seed and graph) while appending to
+// buf every node whose state the walk read: the start node and every
+// node the token reached. The trace is what lets a speculative walk be
+// revalidated after earlier commits mutate the graph — a walk whose
+// visited nodes all kept their adjacency rows and predicate inputs
+// unchanged must produce the identical result. buf is reused via
+// buf[:0] by callers; the returned slice aliases it.
+func RandomWalkTraceInto(g *graph.Graph, start graph.NodeID, exclude graph.NodeID, maxLen int, seed uint64, stop func(graph.NodeID) bool, buf []graph.NodeID) (WalkResult, []graph.NodeID) {
+	buf = append(buf, start)
+	if stop(start) {
+		return WalkResult{End: start, Hit: true, Steps: 0}, buf
+	}
+	cur := start
+	state := seed
+	for s := 1; s <= maxLen; s++ {
+		var r uint64
+		state, r = splitmix64(state)
+		next, ok := pickWeighted(g, cur, exclude, r)
+		if !ok {
+			return WalkResult{End: cur, Hit: false, Steps: s - 1}, buf
+		}
+		cur = next
+		buf = append(buf, cur)
+		if stop(cur) {
+			return WalkResult{End: cur, Hit: true, Steps: s}, buf
+		}
+	}
+	return WalkResult{End: cur, Hit: false, Steps: maxLen}, buf
+}
+
+// WalkSpec describes one speculative walk of a batch.
+type WalkSpec struct {
+	Start   graph.NodeID
+	Exclude graph.NodeID // -1 to disable
+	MaxLen  int
+	Seed    uint64
+	Stop    func(graph.NodeID) bool // must be safe for concurrent pure reads
+}
+
+// WalkOutcome is the result of one speculative walk: the outcome plus
+// the visited-node trace used for commit-time revalidation. Visited's
+// backing array is owned by the caller and reused across batches.
+type WalkOutcome struct {
+	Res     WalkResult
+	Visited []graph.NodeID
+}
+
+// WalkPool runs batches of independent walks across a fixed set of
+// worker goroutines. The workers only ever read the graph (walk
+// stepping and stop predicates are pure), so a batch may run without
+// locks as long as no goroutine mutates the graph until RunBatch
+// returns. Workers park between batches; Close releases them.
+type WalkPool struct {
+	workers int
+	work    chan *walkBatch
+	close   sync.Once
+}
+
+type walkBatch struct {
+	g     *graph.Graph
+	specs []WalkSpec
+	out   []WalkOutcome
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// NewWalkPool creates a pool of the given width. workers <= 1 yields a
+// pool that runs batches on the calling goroutine only.
+func NewWalkPool(workers int) *WalkPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &WalkPool{workers: workers, work: make(chan *walkBatch, workers)}
+	for i := 1; i < workers; i++ {
+		go func() {
+			for b := range p.work {
+				b.run()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool width.
+func (p *WalkPool) Workers() int { return p.workers }
+
+// RunBatch executes specs[i] into out[i] for every i, returning when
+// the whole batch is done. The calling goroutine participates, so a
+// batch of one costs no synchronization beyond an atomic add. The graph
+// must not be mutated while RunBatch runs.
+func (p *WalkPool) RunBatch(g *graph.Graph, specs []WalkSpec, out []WalkOutcome) {
+	if len(specs) == 0 {
+		return
+	}
+	b := &walkBatch{g: g, specs: specs, out: out}
+	b.wg.Add(len(specs))
+	helpers := p.workers - 1
+	if helpers > len(specs)-1 {
+		helpers = len(specs) - 1
+	}
+	for i := 0; i < helpers; i++ {
+		p.work <- b
+	}
+	b.run()
+	b.wg.Wait()
+}
+
+func (b *walkBatch) run() {
+	for {
+		i := int(b.next.Add(1)) - 1
+		if i >= len(b.specs) {
+			return
+		}
+		s := b.specs[i]
+		res, vis := RandomWalkTraceInto(b.g, s.Start, s.Exclude, s.MaxLen, s.Seed, s.Stop, b.out[i].Visited[:0])
+		b.out[i].Res = res
+		b.out[i].Visited = vis
+		b.wg.Done()
+	}
+}
+
+// Close releases the pool's worker goroutines. Idempotent; a closed
+// pool must not be handed another RunBatch.
+func (p *WalkPool) Close() {
+	p.close.Do(func() { close(p.work) })
+}

@@ -1,0 +1,48 @@
+package congest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// BenchmarkWalkBatchPool prices the fork-join walk substrate on the
+// batch shape the engine's retry tail dispatches under rebuild
+// pressure: full-length walks whose stop predicate is scarce (here:
+// never satisfied), on an expander big enough that every hop is a
+// cache miss. This is the component-level scaling bound for parallel
+// type-1 recovery; end-to-end speedup is further capped by how much of
+// a recovery step is walking (see BenchmarkRecoveryParallel). On a
+// single-CPU host all widths must be at parity — the regression this
+// guards is the pool costing more than it can return.
+func BenchmarkWalkBatchPool(b *testing.B) {
+	const (
+		nodes   = 1 << 17
+		batch   = 64
+		walkLen = 68 // 4*ceil(log2 n)
+	)
+	g := expanderish(nodes, 9)
+	stop := func(graph.NodeID) bool { return false }
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := NewWalkPool(workers)
+			defer p.Close()
+			specs := make([]WalkSpec, batch)
+			outs := make([]WalkOutcome, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range specs {
+					specs[j] = WalkSpec{
+						Start:   graph.NodeID((i*batch + j*977) % nodes),
+						Exclude: -1,
+						MaxLen:  walkLen,
+						Seed:    uint64(i*batch + j),
+						Stop:    stop,
+					}
+				}
+				p.RunBatch(g, specs, outs)
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+package congest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestWalkTraceMatchesDirect: for any seed, the traced walk and the
+// direct walk make identical choices, and the trace records the start
+// plus every node the token reached.
+func TestWalkTraceMatchesDirect(t *testing.T) {
+	g := expanderish(64, 3)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		start := graph.NodeID(rng.Intn(64))
+		exclude := graph.NodeID(-1)
+		if i%3 == 0 {
+			exclude = graph.NodeID(rng.Intn(64))
+		}
+		seed := rng.Uint64()
+		maxLen := 1 + rng.Intn(24)
+		target := graph.NodeID(rng.Intn(64))
+		stop := func(u graph.NodeID) bool { return u == target }
+		want := RandomWalkDirect(g, start, exclude, maxLen, seed, stop)
+		got, trace := RandomWalkTraceInto(g, start, exclude, maxLen, seed, stop, nil)
+		if got != want {
+			t.Fatalf("traced walk diverged: got %+v want %+v", got, want)
+		}
+		if len(trace) != want.Steps+1 {
+			t.Fatalf("trace length %d, want steps+1 = %d", len(trace), want.Steps+1)
+		}
+		if trace[0] != start || trace[len(trace)-1] != want.End {
+			t.Fatalf("trace endpoints %d..%d, want %d..%d", trace[0], trace[len(trace)-1], start, want.End)
+		}
+	}
+}
+
+// TestWalkPoolMatchesSerial: a pooled batch produces, per index, the
+// identical outcome a serial loop over RandomWalkDirect produces —
+// at every pool width, with outcome buffers reused across batches.
+func TestWalkPoolMatchesSerial(t *testing.T) {
+	g := expanderish(128, 7)
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewWalkPool(workers)
+		rng := rand.New(rand.NewSource(int64(workers)))
+		out := make([]WalkOutcome, 64)
+		for round := 0; round < 20; round++ {
+			n := 1 + rng.Intn(64)
+			specs := make([]WalkSpec, n)
+			for i := range specs {
+				target := graph.NodeID(rng.Intn(128))
+				specs[i] = WalkSpec{
+					Start:   graph.NodeID(rng.Intn(128)),
+					Exclude: -1,
+					MaxLen:  1 + rng.Intn(30),
+					Seed:    rng.Uint64(),
+					Stop:    func(u graph.NodeID) bool { return u == target },
+				}
+			}
+			p.RunBatch(g, specs, out[:n])
+			for i, s := range specs {
+				want := RandomWalkDirect(g, s.Start, s.Exclude, s.MaxLen, s.Seed, s.Stop)
+				if out[i].Res != want {
+					t.Fatalf("workers=%d round=%d walk %d: got %+v want %+v", workers, round, i, out[i].Res, want)
+				}
+				if len(out[i].Visited) != want.Steps+1 {
+					t.Fatalf("workers=%d walk %d: trace length %d, want %d", workers, i, len(out[i].Visited), want.Steps+1)
+				}
+			}
+		}
+		p.Close()
+		p.Close() // idempotent
+	}
+}

@@ -54,23 +54,29 @@ func (nw *Network) InsertBatch(specs []InsertSpec) error {
 	}
 	nw.beginStep(OpBatchInsert, specs[0].ID)
 	for _, s := range specs {
-		if s.ID >= nw.nextID {
-			nw.nextID = s.ID + 1
-		}
-		nw.real.AddNode(s.ID)
-		nw.sim[s.ID] = make(map[Vertex]struct{})
-		nw.addNodeEntry(s.ID)
-		nw.setLoad(s.ID, 0, true)
-		nw.rebuiltReal = false
-		nw.addRealEdge(s.ID, s.Attach)
-		nw.recoverInsert(s.ID, s.Attach)
-		if !nw.rebuiltReal {
-			nw.removeRealEdge(s.ID, s.Attach)
-		}
+		nw.insertOneOfBatch(s)
 	}
 	nw.afterRecovery(specs[0].Attach)
 	nw.endStep()
 	return nil
+}
+
+// insertOneOfBatch bootstraps one batch member (node + temporary attach
+// edge) and runs its recovery ladder.
+func (nw *Network) insertOneOfBatch(s InsertSpec) {
+	if s.ID >= nw.nextID {
+		nw.nextID = s.ID + 1
+	}
+	nw.real.AddNode(s.ID)
+	nw.sim[s.ID] = make(map[Vertex]struct{})
+	nw.addNodeEntry(s.ID)
+	nw.setLoad(s.ID, 0, true)
+	nw.rebuiltReal = false
+	nw.addRealEdge(s.ID, s.Attach)
+	nw.recoverInsert(s.ID, s.Attach)
+	if !nw.rebuiltReal {
+		nw.removeRealEdge(s.ID, s.Attach)
+	}
 }
 
 // DeleteBatch performs one adversarial step deleting all ids at once,

@@ -82,6 +82,12 @@ type Config struct {
 	Mode RecoveryMode
 	// Seed drives all randomized choices.
 	Seed int64
+	// Workers is the width of the worker pool that speculates type-1
+	// walk batches in parallel (0 or 1 = serial, the default). For any
+	// fixed seed the recovery outcome — mapping, overlay, and per-step
+	// metrics — is byte-identical at every width; Workers only changes
+	// wall-clock time (see parallel.go).
+	Workers int
 	// HistoryCap bounds the in-memory per-step metrics history; 0 keeps
 	// every step (the default). When the cap is reached the older half is
 	// discarded, so long churn runs hold O(cap) metrics memory while
@@ -159,6 +165,29 @@ type Network struct {
 	// rebuildObserver, when set, is invoked after the virtual graph is
 	// replaced (inflation/deflation commit) with the new modulus.
 	rebuildObserver func(pNew int64)
+
+	// Parallel-recovery state (see parallel.go). seedQ/seedHead form the
+	// FIFO that keeps the walk-seed stream identical to the serial
+	// path's; specTouched records commit write-sets while non-nil;
+	// specEpoch versions stagger-state transitions.
+	workers     int
+	pool        *congest.WalkPool
+	seedQ       []uint64
+	seedHead    int
+	seedBuf     []uint64
+	tailSeedBuf []uint64
+	specs       []congest.WalkSpec
+	outs        []congest.WalkOutcome
+	tailSpecs   []congest.WalkSpec
+	tailOuts    []congest.WalkOutcome
+	liveIdx     []int
+	liveSpecs   []congest.WalkSpec
+	liveOuts    []congest.WalkOutcome
+	specTouched map[NodeID]struct{}
+	specEpoch   uint64
+	specHits    int
+	specMisses  int
+	tailWalks   int
 }
 
 // New builds an initial DEX network of n0 >= 4 nodes with ids 0..n0-1,
@@ -168,7 +197,7 @@ func New(n0 int, cfg Config) (*Network, error) {
 	if n0 < 4 {
 		return nil, fmt.Errorf("core: initial size %d < 4", n0)
 	}
-	if cfg.Zeta < 2 || cfg.Theta <= 0 || cfg.Theta > 0.5 || cfg.WalkFactor < 1 || cfg.HistoryCap < 0 {
+	if cfg.Zeta < 2 || cfg.Theta <= 0 || cfg.Theta > 0.5 || cfg.WalkFactor < 1 || cfg.HistoryCap < 0 || cfg.Workers < 0 {
 		return nil, fmt.Errorf("core: invalid config %+v", cfg)
 	}
 	p0, ok := primes.FirstPrimeIn(int64(4*n0), int64(8*n0))
@@ -215,6 +244,10 @@ func (nw *Network) initTracking() {
 	nw.nodePos = make(map[NodeID]int)
 	nw.dirty = make(map[NodeID]struct{})
 	nw.auditRng = rand.New(rand.NewSource(nw.cfg.Seed ^ 0x5eed_a0d1))
+	nw.workers = nw.cfg.Workers
+	if nw.workers < 1 {
+		nw.workers = 1
+	}
 }
 
 // --- basic accessors -------------------------------------------------------
@@ -329,7 +362,9 @@ func (nw *Network) flushEdgeDeltas() {
 			out = append(out, graph.EdgeDelta{U: k.u, V: k.v, Delta: d})
 		}
 	}
-	clear(nw.edgeDeltas)
+	// A rebuild's O(n)-entry diff must not leave every later clear()
+	// paying for the spike's table capacity (see stepMapResetCap).
+	nw.edgeDeltas = resetStepMap(nw.edgeDeltas)
 	if len(out) == 0 {
 		return
 	}
@@ -429,8 +464,17 @@ func pairKey(a, b NodeID) edgeKey {
 }
 
 // markDirty records that u's real-edge row or load changed this step;
-// sampled audits re-verify exactly the dirty nodes.
-func (nw *Network) markDirty(u NodeID) { nw.dirty[u] = struct{}{} }
+// sampled audits re-verify exactly the dirty nodes. Every mutation a
+// walk or stop predicate can observe funnels through here (edge rows
+// via rawAdd/RemoveEdge*, loads and stagger counters via setLoad), so
+// while specTouched is armed it doubles as the write-set recorder that
+// revalidates speculative parallel walks.
+func (nw *Network) markDirty(u NodeID) {
+	nw.dirty[u] = struct{}{}
+	if nw.specTouched != nil {
+		nw.specTouched[u] = struct{}{}
+	}
+}
 
 // rawAddEdge / rawRemoveEdge mutate the live overlay and feed the
 // dirty-node set and (when observed) the step's edge-delta batch, without
@@ -675,8 +719,24 @@ func (nw *Network) chargeCoordinatorNotify(v NodeID) {
 	nw.step.Rounds++
 }
 
-// walkSeed draws a fresh token seed.
-func (nw *Network) walkSeed() uint64 { return nw.rng.Uint64() }
+// walkSeed draws the next token seed. Seeds pre-drawn for speculative
+// parallel batches sit in a FIFO and are consumed here first; since
+// this is the engine's only RNG consumer, the uint64 stream any run
+// observes is identical whether or not (and how far) batches were
+// speculated — the cornerstone of the worker-count determinism
+// guarantee.
+func (nw *Network) walkSeed() uint64 {
+	if nw.seedHead < len(nw.seedQ) {
+		s := nw.seedQ[nw.seedHead]
+		nw.seedHead++
+		if nw.seedHead == len(nw.seedQ) {
+			nw.seedQ = nw.seedQ[:0]
+			nw.seedHead = 0
+		}
+		return s
+	}
+	return nw.rng.Uint64()
+}
 
 // runWalk performs one type-1 token walk on the live overlay and charges
 // its cost.

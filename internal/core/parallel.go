@@ -1,0 +1,348 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// This file parallelizes type-1 recovery. The paper's walks are
+// independent at the token level — each displaced vertex walks on its
+// own — but the implementation's serial loop interleaves walk, commit
+// (vertex movement), and the next walk, and every commit can change
+// what a later walk would see. Parallelism therefore has to be
+// speculative: a batch of first-attempt walks runs concurrently against
+// the momentarily quiescent overlay (walk stepping and stop predicates
+// are pure reads), and the results are then committed strictly in the
+// serial order, each one revalidated first. A speculation is used
+// verbatim only when replaying it serially would provably produce the
+// identical outcome:
+//
+//   - its seed equals the seed the serial path draws at that point
+//     (seeds come from a FIFO pre-drawn from the engine RNG in serial
+//     order, so the uint64 stream consumed by walks is identical at
+//     every worker count — see walkSeed);
+//   - no stagger-state transition happened since the batch was taken
+//     (specEpoch guards predicate shape);
+//   - none of the nodes the walk visited was touched by an earlier
+//     commit (markDirty doubles as the write-set recorder, and both
+//     adjacency rows and every predicate input — loads, stagger
+//     counters — funnel through it).
+//
+// Anything else falls back to re-running that one walk serially with
+// the same seed, which is exactly what the serial path would have done.
+// Seeded runs are therefore byte-identical at any worker count — the
+// differential tests enforce History()-level equality — and Workers
+// only changes wall-clock time.
+
+// specWindowMax bounds how many first attempts are speculated per
+// fork-join round; deeper speculation past a mis-speculated commit is
+// mostly wasted work.
+const specWindowMax = 64
+
+// minPoolBatch is the smallest live-walk batch worth a worker handoff.
+// Waking a parked worker costs on the order of ten microseconds; a
+// handful of expected-O(1)-hop walks (Lemma 2's steady state) is less
+// work than that, so small batches run inline on the caller. Large
+// batches — wide insert windows, contender rounds, the retry tail —
+// are where the pool's wall-clock win lives.
+const minPoolBatch = 8
+
+// specAttempt carries one speculative first-attempt walk into the
+// serial commit path.
+type specAttempt struct {
+	seed      uint64
+	epoch     uint64
+	maxLen    int
+	res       congest.WalkResult
+	disturbed bool // a visited node was touched by an earlier commit
+}
+
+// walkPool lazily creates the network's worker pool. A cleanup closes
+// the pool if the owner never calls Close, so abandoned networks do not
+// strand parked goroutines past their own lifetime.
+func (nw *Network) walkPool() *congest.WalkPool {
+	if nw.pool == nil {
+		nw.pool = congest.NewWalkPool(nw.workers)
+		runtime.AddCleanup(nw, func(p *congest.WalkPool) { p.Close() }, nw.pool)
+	}
+	return nw.pool
+}
+
+// Close releases the parallel-recovery worker pool, if one was created.
+// The network remains fully usable — a later parallel batch recreates
+// the pool on demand — and serial networks (Workers <= 1) never need
+// Close at all.
+func (nw *Network) Close() {
+	if nw.pool != nil {
+		nw.pool.Close()
+		nw.pool = nil
+	}
+}
+
+// SpecStats reports the parallel path's activity over the network's
+// lifetime: speculative window walks committed verbatim (hits) versus
+// re-run serially after revalidation failed (misses), plus the walks
+// executed by the exact retry tail (tail), which needs no
+// revalidation. Purely observational — used by tests to assert the
+// parallel path actually engaged, and by benchmarks to report
+// speculation quality.
+func (nw *Network) SpecStats() (hits, misses, tail int) {
+	return nw.specHits, nw.specMisses, nw.tailWalks
+}
+
+// predrawSeedsInto tops the seed FIFO up to k entries and returns a
+// stable copy of the first k in buf (the FIFO itself is consumed by
+// walkSeed during the commits). Each caller owns a distinct buf: the
+// retry tail nests inside an outer window's commit loop, and the outer
+// loop still reads its own seed copy afterwards.
+func (nw *Network) predrawSeedsInto(buf []uint64, k int) []uint64 {
+	for len(nw.seedQ)-nw.seedHead < k {
+		nw.seedQ = append(nw.seedQ, nw.rng.Uint64())
+	}
+	return append(buf[:0], nw.seedQ[nw.seedHead:nw.seedHead+k]...)
+}
+
+// specSlots sizes the reused walk-spec and outcome buffers for the
+// orphan/member/contender windows. The retry tail has its own pair
+// (tailSlots) because it runs inside these windows' commit loops.
+func (nw *Network) specSlots(n int) ([]congest.WalkSpec, []congest.WalkOutcome) {
+	if cap(nw.specs) < n {
+		nw.specs = make([]congest.WalkSpec, n)
+		nw.outs = make([]congest.WalkOutcome, n)
+	}
+	nw.specs = nw.specs[:n]
+	nw.outs = nw.outs[:n]
+	return nw.specs, nw.outs
+}
+
+// tailSlots sizes the retry tail's walk-spec and outcome buffers.
+func (nw *Network) tailSlots(n int) ([]congest.WalkSpec, []congest.WalkOutcome) {
+	if cap(nw.tailSpecs) < n {
+		nw.tailSpecs = make([]congest.WalkSpec, n)
+		nw.tailOuts = make([]congest.WalkOutcome, n)
+	}
+	nw.tailSpecs = nw.tailSpecs[:n]
+	nw.tailOuts = nw.tailOuts[:n]
+	return nw.tailSpecs, nw.tailOuts
+}
+
+// runSpecWindow computes outs[j] for every spec in specs, handing the
+// worker pool only the walks that cannot resolve on their start node.
+// In steady state most stop predicates accept immediately (Low spans
+// most of the network, so a displaced vertex rarely walks at all), and
+// a fork-join handoff for 0-step walks costs more than it saves; under
+// rebuild pressure the predicates turn selective and the real
+// multi-hop walks fan out. The live/compact scratch slices are shared
+// across nesting levels — they are transient within one call.
+func (nw *Network) runSpecWindow(specs []congest.WalkSpec, outs []congest.WalkOutcome) {
+	n := len(specs)
+	live := nw.liveIdx[:0]
+	for j := 0; j < n; j++ {
+		s := &specs[j]
+		if s.Stop(s.Start) {
+			outs[j].Res = congest.WalkResult{End: s.Start, Hit: true, Steps: 0}
+			outs[j].Visited = append(outs[j].Visited[:0], s.Start)
+		} else {
+			live = append(live, j)
+		}
+	}
+	nw.liveIdx = live
+	switch {
+	case len(live) == 0:
+	case len(live) < minPoolBatch:
+		for _, j := range live {
+			s := specs[j]
+			outs[j].Res, outs[j].Visited = congest.RandomWalkTraceInto(
+				nw.real, s.Start, s.Exclude, s.MaxLen, s.Seed, s.Stop, outs[j].Visited[:0])
+		}
+	case len(live) == n:
+		nw.walkPool().RunBatch(nw.real, specs, outs)
+	default:
+		if cap(nw.liveSpecs) < len(live) {
+			nw.liveSpecs = make([]congest.WalkSpec, len(live))
+			nw.liveOuts = make([]congest.WalkOutcome, len(live))
+		}
+		ls, lo := nw.liveSpecs[:len(live)], nw.liveOuts[:len(live)]
+		for i, j := range live {
+			ls[i] = specs[j]
+		}
+		nw.walkPool().RunBatch(nw.real, ls, lo)
+		for i, j := range live {
+			outs[j].Res = lo[i].Res
+			outs[j].Visited = append(outs[j].Visited[:0], lo[i].Visited...)
+		}
+	}
+}
+
+// beginSpecCommits resets the touched-node recorder before a window's
+// serial commits; markDirty feeds it while it is non-nil. Like the
+// other per-step tracking maps it resets through resetStepMap, so a
+// type-2 rebuild flooding it with every node cannot tax later windows
+// with its leftover table capacity.
+func (nw *Network) beginSpecCommits() {
+	if nw.specTouched == nil {
+		nw.specTouched = make(map[NodeID]struct{}, 64)
+		return
+	}
+	nw.specTouched = resetStepMap(nw.specTouched)
+}
+
+// specDisturbed reports whether any node the speculative walk visited
+// was mutated by a commit since the batch was taken.
+func (nw *Network) specDisturbed(visited []graph.NodeID) bool {
+	if len(nw.specTouched) == 0 {
+		return false
+	}
+	for _, u := range visited {
+		if _, ok := nw.specTouched[u]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// firstAttempt consumes the serial seed for a walk's first attempt and
+// uses the speculative result when it is still exactly what the serial
+// path would compute, re-running the walk in place otherwise. Costs are
+// charged identically either way.
+func (nw *Network) firstAttempt(spec *specAttempt, start, exclude NodeID, stop func(NodeID) bool) congest.WalkResult {
+	seed := nw.walkSeed()
+	var res congest.WalkResult
+	if seed == spec.seed && spec.epoch == nw.specEpoch && !spec.disturbed && spec.maxLen == nw.walkLen() {
+		res = spec.res
+		nw.specHits++
+	} else {
+		res = congest.RandomWalkDirect(nw.real, start, exclude, nw.walkLen(), seed, stop)
+		nw.specMisses++
+	}
+	nw.step.Rounds += res.Steps
+	nw.step.Messages += res.Steps
+	return res
+}
+
+// walkRetryTail runs up to attempts retry walks for one stuck token in
+// parallel windows, returning the first hit (and how the serial retry
+// loop would have charged the misses before it). It is exact without
+// any revalidation: a missed walk mutates nothing — it only charges
+// rounds, messages, a retry, and the coordinator notification — and
+// the type-2 trigger thresholds (|Low|, |Spare|) cannot change between
+// misses, so every walk in a window sees precisely the state the
+// serial loop would have shown it. This is where parallelism pays most:
+// when the acceptor set is scarce (rebuild pressure), serial recovery
+// grinds through dozens of full-length walks per displaced vertex.
+func (nw *Network) walkRetryTail(start, exclude, reporter NodeID, stop func(NodeID) bool, attempts int) (congest.WalkResult, bool) {
+	var last congest.WalkResult
+	for attempts > 0 {
+		window := attempts
+		if lim := 4 * nw.workers; window > lim {
+			window = lim
+		}
+		nw.tailSeedBuf = nw.predrawSeedsInto(nw.tailSeedBuf, window)
+		seeds := nw.tailSeedBuf
+		maxLen := nw.walkLen()
+		specs, outs := nw.tailSlots(window)
+		for j := 0; j < window; j++ {
+			specs[j] = congest.WalkSpec{Start: start, Exclude: exclude, MaxLen: maxLen, Seed: seeds[j], Stop: stop}
+		}
+		nw.runSpecWindow(specs, outs)
+		for j := 0; j < window; j++ {
+			seed := nw.walkSeed()
+			res := outs[j].Res
+			if seed != seeds[j] { // defensive: cannot happen, walks own the seed stream here
+				res = congest.RandomWalkDirect(nw.real, start, exclude, maxLen, seed, stop)
+			}
+			nw.tailWalks++
+			nw.step.Rounds += res.Steps
+			nw.step.Messages += res.Steps
+			if res.Hit {
+				return res, true
+			}
+			nw.step.WalkRetries++
+			nw.chargeCoordinatorNotify(reporter)
+			last = res
+			attempts--
+		}
+	}
+	return last, false
+}
+
+// Deletion orphan batches deliberately have no first-attempt window:
+// every orphan's walk starts at the adopting neighbor v, and every
+// committed placement moves a vertex away from v — touching v's row
+// and load — so speculation j+1 is invalidated by commit j almost by
+// construction (measured hit rates ~30%, a net slowdown). The serial
+// first attempt is one predicate call in the dense regime; the scarce
+// regime, where walks are long and retried, is covered exactly by
+// walkRetryTail.
+
+// retryContendersParallel runs one non-forced contender round with
+// speculative parallel walks: every eligible contender's single walk
+// fans out (the donor predicate is selective early in a deflation
+// phase, so these are the engine's longest walk batches), then commits
+// in serial order — hit moves a spare new vertex, miss re-queues the
+// contender, exactly as contendWalk(u, false) would. Eligibility is
+// precomputed by the caller; it cannot change mid-round because donors
+// are never contenders (newCount >= 2 vs == 0).
+func (nw *Network) retryContendersParallel(eligible []NodeID) (still []NodeID) {
+	defer func() { nw.specTouched = nil }()
+	s := nw.stag
+	idx := 0
+	for idx < len(eligible) {
+		window := len(eligible) - idx
+		if window > specWindowMax {
+			window = specWindowMax
+		}
+		if window < 2 {
+			if !nw.contendWalk(eligible[idx], false) {
+				still = append(still, eligible[idx])
+			}
+			idx++
+			continue
+		}
+		nw.seedBuf = nw.predrawSeedsInto(nw.seedBuf, window)
+		seeds := nw.seedBuf
+		epoch := nw.specEpoch
+		maxLen := nw.walkLen()
+		specs, outs := nw.specSlots(window)
+		for j := 0; j < window; j++ {
+			u := eligible[idx+j]
+			specs[j] = congest.WalkSpec{
+				Start:   u,
+				Exclude: -1,
+				MaxLen:  maxLen,
+				Seed:    seeds[j],
+				Stop:    contendStop(s, u),
+			}
+		}
+		nw.runSpecWindow(specs, outs)
+		nw.beginSpecCommits()
+		for j := 0; j < window; j++ {
+			u := eligible[idx]
+			sp := &specAttempt{
+				seed:      seeds[j],
+				epoch:     epoch,
+				maxLen:    maxLen,
+				res:       outs[j].Res,
+				disturbed: nw.specDisturbed(outs[j].Visited),
+			}
+			res := nw.firstAttempt(sp, u, -1, contendStop(s, u))
+			if res.Hit {
+				s.moveNewVertex(nw, s.lastNewOf(res.End), u)
+			} else {
+				nw.step.WalkRetries++
+				still = append(still, u)
+			}
+			idx++
+		}
+	}
+	return still
+}
+
+// Insert batches likewise have no first-attempt window: the donor
+// predicate (load >= 2, or its staggered refinements) is dense in
+// every phase — the average load is at least 4 — so member walks
+// resolve in O(1) expected hops and window machinery measured as a
+// net slowdown. The retry tail in recoverInsert covers the
+// pathological scarce case.

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// equalEngineState fails the test unless the two networks are in
+// byte-identical externally observable states: mapping, loads, overlay
+// edges, modulus, and per-step metrics history.
+func equalEngineState(t *testing.T, tag string, a, b *Network) {
+	t.Helper()
+	if a.P() != b.P() || a.Size() != b.Size() {
+		t.Fatalf("%s: shape diverged: p %d vs %d, n %d vs %d", tag, a.P(), b.P(), a.Size(), b.Size())
+	}
+	if !reflect.DeepEqual(a.simOf, b.simOf) {
+		t.Fatalf("%s: virtual mapping diverged", tag)
+	}
+	if !reflect.DeepEqual(a.load, b.load) {
+		t.Fatalf("%s: load tables diverged", tag)
+	}
+	if !reflect.DeepEqual(a.real.Edges(), b.real.Edges()) {
+		t.Fatalf("%s: overlay edge multisets diverged", tag)
+	}
+	if !reflect.DeepEqual(a.History(), b.History()) {
+		ah, bh := a.History(), b.History()
+		for i := range ah {
+			if i < len(bh) && ah[i] != bh[i] {
+				t.Fatalf("%s: history diverged at step %d:\nserial:   %+v\nparallel: %+v", tag, i+1, ah[i], bh[i])
+			}
+		}
+		t.Fatalf("%s: history lengths diverged: %d vs %d", tag, len(ah), len(bh))
+	}
+}
+
+// driveChurnPair drives ser and par through the identical adversarial
+// trace — growth, deletion storms, batch inserts, mixed churn — and
+// asserts byte-identical state after every operation.
+func driveChurnPair(t *testing.T, ser, par *Network, seed int64) {
+	t.Helper()
+	rngS := rand.New(rand.NewSource(seed))
+	rngP := rand.New(rand.NewSource(seed))
+	stepBoth := func(tag string, f func(nw *Network, rng *rand.Rand) error) {
+		t.Helper()
+		errS := f(ser, rngS)
+		errP := f(par, rngP)
+		if (errS == nil) != (errP == nil) || (errS != nil && errS.Error() != errP.Error()) {
+			t.Fatalf("%s: errors diverged: %v vs %v", tag, errS, errP)
+		}
+		if ser.LastStep() != par.LastStep() {
+			t.Fatalf("%s: step metrics diverged:\nserial:   %+v\nparallel: %+v", tag, ser.LastStep(), par.LastStep())
+		}
+	}
+
+	// Growth: batch inserts big enough to open speculation windows.
+	for r := 0; r < 6; r++ {
+		stepBoth(fmt.Sprintf("grow-batch %d", r), func(nw *Network, rng *rand.Rand) error {
+			nodes := nw.Nodes()
+			specs := make([]InsertSpec, 16)
+			for j := range specs {
+				specs[j] = InsertSpec{ID: nw.FreshID(), Attach: nodes[rng.Intn(len(nodes))]}
+			}
+			return nw.InsertBatch(specs)
+		})
+		equalEngineState(t, fmt.Sprintf("after grow-batch %d", r), ser, par)
+	}
+
+	// Deletion storms: multi-victim batches, each victim's orphans
+	// fanning out through the parallel redistribute path.
+	for r := 0; r < 8; r++ {
+		stepBoth(fmt.Sprintf("storm %d", r), func(nw *Network, rng *rand.Rand) error {
+			nodes := nw.Nodes()
+			rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+			k := 6
+			if k > len(nodes)-8 {
+				k = len(nodes) - 8
+			}
+			return nw.DeleteBatch(nodes[:k])
+		})
+		equalEngineState(t, fmt.Sprintf("after storm %d", r), ser, par)
+	}
+
+	// Mixed single-op churn to cross stagger phases and rebuilds.
+	for i := 0; i < 400; i++ {
+		stepBoth(fmt.Sprintf("mixed %d", i), func(nw *Network, rng *rand.Rand) error {
+			nodes := nw.Nodes()
+			if rng.Float64() < 0.45 || nw.Size() <= 8 {
+				return nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))])
+			}
+			return nw.Delete(nodes[rng.Intn(len(nodes))])
+		})
+	}
+	equalEngineState(t, "after mixed churn", ser, par)
+
+	if err := par.CheckInvariants(); err != nil {
+		t.Fatalf("parallel engine invariants: %v", err)
+	}
+}
+
+// TestParallelMatchesSerial is the worker-count determinism gate: for a
+// fixed seed, the parallel recovery path must produce byte-identical
+// mapping, overlay, and History to the serial path, in both recovery
+// modes. In the dense steady state the pool may legitimately never
+// engage (walks resolve in O(1) hops and the engine keeps them
+// serial); TestParallelMatchesSerialUnderPressure asserts engagement
+// in the scarce regime where the retry tail takes over.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, mode := range []RecoveryMode{Staggered, Simplified} {
+		for _, workers := range []int{2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", mode, workers), func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Mode = mode
+				cfg.Seed = int64(42 + workers)
+				ser, err := New(48, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfgP := cfg
+				cfgP.Workers = workers
+				par, err := New(48, cfgP)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer par.Close()
+				driveChurnPair(t, ser, par, cfg.Seed)
+				if sh, sm, st := ser.SpecStats(); sh != 0 || sm != 0 || st != 0 {
+					t.Fatalf("serial engine touched the speculation path: hits=%d misses=%d tail=%d", sh, sm, st)
+				}
+				hits, misses, tail := par.SpecStats()
+				t.Logf("speculation: %d hits, %d misses, %d tail walks", hits, misses, tail)
+			})
+		}
+	}
+}
+
+// TestParallelMatchesSerialUnderPressure drives the stressed regime —
+// tight zeta, delete-heavy churn — where acceptor sets shrink, walks
+// miss, and the parallel retry tail takes over from the serial retry
+// loop. The byte-identity bar is the same, and the trace must actually
+// accumulate walk retries for the scenario to count.
+func TestParallelMatchesSerialUnderPressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Zeta = 3 // tight but clear of the zeta=2 forced-contender corner
+	cfg.Seed = 77
+	ser, err := New(64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgP := cfg
+	cfgP.Workers = 4
+	par, err := New(64, cfgP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+
+	rngS := rand.New(rand.NewSource(cfg.Seed))
+	rngP := rand.New(rand.NewSource(cfg.Seed))
+	step := func(nw *Network, rng *rand.Rand) error {
+		nodes := nw.Nodes()
+		if rng.Float64() < 0.6 && nw.Size() > 24 {
+			return nw.Delete(nodes[rng.Intn(len(nodes))])
+		}
+		return nw.Insert(nw.FreshID(), nodes[rng.Intn(len(nodes))])
+	}
+	for i := 0; i < 600; i++ {
+		errS, errP := step(ser, rngS), step(par, rngP)
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("step %d: errors diverged: %v vs %v", i, errS, errP)
+		}
+		if ser.LastStep() != par.LastStep() {
+			t.Fatalf("step %d: metrics diverged:\nserial:   %+v\nparallel: %+v", i, ser.LastStep(), par.LastStep())
+		}
+	}
+	equalEngineState(t, "after pressure churn", ser, par)
+	if ser.Totals().WalkRetries == 0 {
+		t.Fatal("pressure trace produced no walk retries; retry tail unexercised")
+	}
+	hits, misses, tail := par.SpecStats()
+	if tail == 0 {
+		t.Fatal("retry tail never engaged under pressure")
+	}
+	t.Logf("retries=%d, spec hits=%d misses=%d tail=%d", ser.Totals().WalkRetries, hits, misses, tail)
+}
+
+// TestWorkersConfigValidation: negative widths are rejected; 0 and 1
+// both mean serial.
+func TestWorkersConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = -1
+	if _, err := New(8, cfg); err == nil {
+		t.Fatal("Workers=-1 accepted")
+	}
+	cfg.Workers = 0
+	nw, err := New(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.workers != 1 {
+		t.Fatalf("Workers=0 normalized to %d, want 1", nw.workers)
+	}
+	nw.Close() // no pool created: must be a no-op
+}

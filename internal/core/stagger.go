@@ -192,6 +192,7 @@ func (nw *Network) startStagger(dir stagDirection) bool {
 		steps = 1
 	}
 	s.batch = (pOld + steps - 1) / steps
+	nw.specEpoch++ // predicate shape changes with the rebuild state
 	for u, set := range nw.sim {
 		s.unprocOld[u] = len(set)
 		proj := 0
@@ -219,6 +220,7 @@ func (nw *Network) routeCharge() int { return nw.z.DiameterUpperBound() }
 // step").
 func (nw *Network) advanceStagger() {
 	s := nw.stag
+	nw.specEpoch++                         // frontier/phase progress invalidates in-flight speculation
 	nw.step.Rounds += nw.routeCharge() + 2 // batch activation + parallel edge setup
 	nw.step.Messages += 2                  // coordinator hand-off bookkeeping
 	if s.phase == 1 {
@@ -395,13 +397,16 @@ func (nw *Network) shedNewOverflow(u NodeID) {
 
 // retryContenders gives each waiting deflation contender one walk per
 // step; with force set (end of Phase 1) it insists, falling back to a
-// deterministic donor scan.
+// deterministic donor scan. The per-step round is the engine's biggest
+// type-1 walk batch — every live contender walks once, against a donor
+// predicate that is selective early in the phase — so with a worker
+// pool the non-forced round fans out in parallel (parallel.go).
 func (nw *Network) retryContenders(force bool) {
 	s := nw.stag
 	if len(s.contenders) == 0 {
 		return
 	}
-	var still []NodeID
+	eligible := s.contenders[:0]
 	for _, u := range s.contenders {
 		if _, alive := nw.sim[u]; !alive && s.newCount(u) == 0 {
 			continue // node deleted while waiting
@@ -409,6 +414,14 @@ func (nw *Network) retryContenders(force bool) {
 		if s.newCount(u) > 0 {
 			continue // received a vertex meanwhile
 		}
+		eligible = append(eligible, u)
+	}
+	if !force && nw.workers > 1 && len(eligible) > 1 {
+		s.contenders = nw.retryContendersParallel(eligible)
+		return
+	}
+	var still []NodeID
+	for _, u := range eligible {
 		if nw.contendWalk(u, force) {
 			continue
 		}
@@ -420,11 +433,18 @@ func (nw *Network) retryContenders(force bool) {
 	}
 }
 
-// contendWalk tries to fetch a spare new vertex for u. Donors must keep
-// one vertex (the paper's "taken" reservation), hence newCount >= 2.
+// contendStop is the contender donor predicate: donors must keep one
+// vertex (the paper's "taken" reservation), hence newCount >= 2. Shared
+// by the serial walk and the parallel speculation so the two paths can
+// never drift.
+func contendStop(s *stagger, u NodeID) func(NodeID) bool {
+	return func(w NodeID) bool { return w != u && s.newCount(w) >= 2 }
+}
+
+// contendWalk tries to fetch a spare new vertex for u.
 func (nw *Network) contendWalk(u NodeID, force bool) bool {
 	s := nw.stag
-	stop := func(w NodeID) bool { return w != u && s.newCount(w) >= 2 }
+	stop := contendStop(s, u)
 	attempts := 1
 	if force {
 		attempts = nw.cfg.WalkRetryLimit
@@ -576,6 +596,7 @@ func (nw *Network) commitStagger() {
 	nw.sim = newSim
 	nw.refreshDist0()
 	nw.stag = nil
+	nw.specEpoch++
 	nw.step.StaggerFinished = true
 	if nw.rebuildObserver != nil {
 		nw.rebuildObserver(nw.z.P())

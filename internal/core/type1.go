@@ -18,30 +18,21 @@ func (nw *Network) Insert(id, attach NodeID) error {
 	if _, ok := nw.sim[attach]; !ok {
 		return fmt.Errorf("%w: attach point %d", ErrUnknownNode, attach)
 	}
-	if id >= nw.nextID {
-		nw.nextID = id + 1
-	}
 	nw.beginStep(OpInsert, id)
-
-	// The adversary wires u to v; the algorithm later drops this edge
-	// unless required by the virtual graph (Alg 4.2 line 3).
-	nw.real.AddNode(id)
-	nw.sim[id] = make(map[Vertex]struct{})
-	nw.addNodeEntry(id)
-	nw.setLoad(id, 0, true)
-	nw.addRealEdge(id, attach)
-
-	nw.recoverInsert(id, attach)
-
-	if !nw.rebuiltReal {
-		nw.removeRealEdge(id, attach) // drop the temporary attachment edge
-	}
+	// The adversary wires u to v; insertOneOfBatch bootstraps the node
+	// with that temporary edge (dropped later unless required by the
+	// virtual graph, Alg 4.2 line 3) and runs the recovery ladder — the
+	// identical sequence a batch member goes through.
+	nw.insertOneOfBatch(InsertSpec{ID: id, Attach: attach})
 	nw.afterRecovery(attach)
 	nw.endStep()
 	return nil
 }
 
 // recoverInsert runs the walk/retry/type-2 ladder for an insertion.
+// The first attempt runs serially (the donor predicate load >= 2 is
+// dense in every phase, so it resolves in O(1) expected hops); once it
+// misses, the remaining retries fan out in parallel (walkRetryTail).
 func (nw *Network) recoverInsert(id, attach NodeID) {
 	stop := nw.insertStop(id)
 	for attempt := 0; attempt < nw.cfg.WalkRetryLimit; attempt++ {
@@ -61,6 +52,16 @@ func (nw *Network) recoverInsert(id, attach NodeID) {
 					nw.step.StaggerStarted = true
 					stop = nw.insertStop(id) // predicates change under staggering
 				}
+			}
+			if nw.workers > 1 && attempt+1 < nw.cfg.WalkRetryLimit {
+				// The trigger thresholds are frozen until something moves,
+				// so the remaining retries can fan out in parallel.
+				res, hit := nw.walkRetryTail(attach, id, attach, stop, nw.cfg.WalkRetryLimit-attempt-1)
+				if hit {
+					nw.donateVertexTo(res.End, id)
+					return
+				}
+				break
 			}
 			continue
 		}
@@ -211,55 +212,79 @@ func (nw *Network) moveHolding(h holding, to NodeID) {
 
 // redistributeFrom walks each adopted vertex from v to a node in Low
 // (Alg 4.3 lines 2-5), falling back to type-2 deflation per the paper.
+// First attempts run serially (in the dense steady state they resolve
+// on a predicate call or two); once a token starts missing, the
+// remaining retries fan out across the worker pool (walkRetryTail).
 func (nw *Network) redistributeFrom(v NodeID, orphans []holding) {
-	for i := 0; i < len(orphans); i++ {
-		h := orphans[i]
-		stop := nw.holdingStop(h)
-		placed := false
-		for attempt := 0; attempt < nw.cfg.WalkRetryLimit; attempt++ {
-			res := nw.runWalk(v, -1, stop)
-			if res.Hit {
-				if res.End != v {
-					nw.moveHolding(h, res.End)
-				}
-				placed = true
-				break
-			}
-			nw.step.WalkRetries++
-			if nw.cfg.Mode == Staggered {
-				nw.chargeCoordinatorNotify(v)
-				if nw.stag == nil && float64(nw.nLow) < 3*nw.cfg.Theta*float64(nw.Size()) {
-					if nw.startStagger(deflateDir) {
-						nw.step.Recovery = RecoveryDeflate
-						nw.step.StaggerStarted = true
-						stop = nw.holdingStop(h)
-					}
-				}
-				continue
-			}
-			agg := congest.FloodAggregate(nw.real, v, func(u graph.NodeID) int64 {
-				if nw.load[u] <= 2*nw.cfg.Zeta {
-					return 1
-				}
-				return 0
-			})
-			nw.step.Rounds += agg.Rounds
-			nw.step.Messages += agg.Messages
-			nw.step.Floods++
-			if float64(agg.Sum) < nw.cfg.Theta*float64(nw.Size()) {
-				// simplifiedDefl rebuilds the whole mapping; the remaining
-				// orphans are re-homed by the rebuild itself.
-				nw.simplifiedDeflate(v)
-				nw.step.Recovery = RecoveryDeflate
-				return
-			}
-		}
-		if !placed {
-			nw.walkExhaustion++
-			// Leaving the vertex at v is always safe (v adopted it); load
-			// bounds are restored by the next rebuild.
+	for _, h := range orphans {
+		if nw.redistributeOne(v, h) {
+			return
 		}
 	}
+}
+
+// redistributeOne runs the full walk/retry/type-2 ladder for a single
+// adopted holding. It reports true when a one-step type-2 rebuild fired
+// (the rebuild re-homes every remaining orphan, so the caller stops).
+func (nw *Network) redistributeOne(v NodeID, h holding) bool {
+	stop := nw.holdingStop(h)
+	placed := false
+	for attempt := 0; attempt < nw.cfg.WalkRetryLimit; attempt++ {
+		res := nw.runWalk(v, -1, stop)
+		if res.Hit {
+			if res.End != v {
+				nw.moveHolding(h, res.End)
+			}
+			placed = true
+			break
+		}
+		nw.step.WalkRetries++
+		if nw.cfg.Mode == Staggered {
+			nw.chargeCoordinatorNotify(v)
+			if nw.stag == nil && float64(nw.nLow) < 3*nw.cfg.Theta*float64(nw.Size()) {
+				if nw.startStagger(deflateDir) {
+					nw.step.Recovery = RecoveryDeflate
+					nw.step.StaggerStarted = true
+					stop = nw.holdingStop(h)
+				}
+			}
+			if nw.workers > 1 && attempt+1 < nw.cfg.WalkRetryLimit {
+				// The trigger thresholds are frozen until something moves,
+				// so the remaining retries can fan out in parallel.
+				res, hit := nw.walkRetryTail(v, -1, v, stop, nw.cfg.WalkRetryLimit-attempt-1)
+				if hit {
+					if res.End != v {
+						nw.moveHolding(h, res.End)
+					}
+					placed = true
+				}
+				break
+			}
+			continue
+		}
+		agg := congest.FloodAggregate(nw.real, v, func(u graph.NodeID) int64 {
+			if nw.load[u] <= 2*nw.cfg.Zeta {
+				return 1
+			}
+			return 0
+		})
+		nw.step.Rounds += agg.Rounds
+		nw.step.Messages += agg.Messages
+		nw.step.Floods++
+		if float64(agg.Sum) < nw.cfg.Theta*float64(nw.Size()) {
+			// simplifiedDefl rebuilds the whole mapping; the remaining
+			// orphans are re-homed by the rebuild itself.
+			nw.simplifiedDeflate(v)
+			nw.step.Recovery = RecoveryDeflate
+			return true
+		}
+	}
+	if !placed {
+		nw.walkExhaustion++
+		// Leaving the vertex at v is always safe (v adopted it); load
+		// bounds are restored by the next rebuild.
+	}
+	return false
 }
 
 // holdingStop returns the stop predicate for redistributing one adopted

@@ -13,6 +13,21 @@
 // All iteration orders are deterministic (sorted by node ID) so that
 // seeded experiments are exactly reproducible.
 //
+// # Concurrency
+//
+// A Graph is not self-synchronizing, but its read paths are pure: no
+// accessor (RandomNeighborStep, ForEachNeighbor, Degree, Multiplicity,
+// BFS, ...) writes any field, so any number of goroutines may read one
+// graph concurrently as long as no mutator runs. The engine's parallel
+// type-1 walkers rely on this: each walker reads only the contiguous
+// arena runs of the nodes it visits (disjoint pool regions), with no
+// locks and no contention. Mutators (AddEdge*, RemoveEdge*, AddNode,
+// RemoveNode) require exclusive access — they may grow, shrink, or
+// compact the shared pool. Readers that cannot exclude writers must
+// work from a Snapshot taken while a lock excluded mutators (e.g. the
+// dex.Concurrent façade's Snapshot method); Epoch then tells such a
+// reader how stale its copy has become.
+//
 // # Representation
 //
 // Graph stores adjacency in a flat arena: one shared []entry pool holds a
@@ -60,6 +75,7 @@ type Graph struct {
 	freeRuns  [][]int32        // freed run offsets, indexed by capacity/4
 	freeCells int              // total cells parked on the free lists
 	edges     int              // number of edges (loops count once)
+	epoch     uint64           // logical version: bumped by every effective mutation
 }
 
 // New returns an empty graph.
@@ -78,6 +94,7 @@ func (g *Graph) Clone() *Graph {
 		poolM:     append([]int32(nil), g.poolM...),
 		freeCells: g.freeCells,
 		edges:     g.edges,
+		epoch:     g.epoch,
 	}
 	for u, s := range g.index {
 		c.index[u] = s
@@ -103,7 +120,30 @@ func (g *Graph) HasNode(u NodeID) bool {
 }
 
 // AddNode inserts u as an isolated node if not present.
-func (g *Graph) AddNode(u NodeID) { g.slotOf(u) }
+func (g *Graph) AddNode(u NodeID) {
+	if _, ok := g.index[u]; ok {
+		return
+	}
+	g.epoch++
+	g.slotOf(u)
+}
+
+// Epoch returns the graph's logical version: a counter incremented by
+// every effective mutation (node added or removed, edge multiplicity
+// changed) and untouched by no-op calls or internal arena housekeeping.
+// It is read and written under the same exclusion regime as the rest
+// of the graph (it is not atomic, and the increment happens before the
+// mutation's writes — it cannot be used as a lock-free seqlock).
+// Compare a Snapshot's pinned epoch against the live graph's, read
+// under the owner's lock, to tell whether a mirror has gone stale.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// Snapshot returns a deep copy of the graph together with the epoch it
+// was taken at. It is the safe way to hand a consistent view of a
+// concurrently churned overlay to long-running readers (spectral
+// analysis, mirrors, debugging): callers take the snapshot while they
+// hold whatever lock excludes mutators, then read it lock-free forever.
+func (g *Graph) Snapshot() (*Graph, uint64) { return g.Clone(), g.epoch }
 
 // slotOf returns u's dense slot, creating it if needed.
 func (g *Graph) slotOf(u NodeID) int32 {
@@ -357,6 +397,7 @@ func (g *Graph) AddEdgeMult(u, v NodeID, k int) {
 		panic(fmt.Sprintf("graph: multiplicity %d exceeds the int32 arena domain", k))
 	}
 	g.maybeCompact()
+	g.epoch++
 	su := g.slotOf(u)
 	sv := g.slotOf(v)
 	g.addHalf(su, v, int32(k))
@@ -390,6 +431,7 @@ func (g *Graph) RemoveEdgeMult(u, v NodeID, k int) int {
 	if have := int(g.poolM[r.off+pos]); have < k {
 		k = have
 	}
+	g.epoch++
 	// u's entry position is already known; decrement in place instead of
 	// re-searching through removeHalf (this is the churn hot path).
 	g.poolM[r.off+pos] -= int32(k)
@@ -411,6 +453,7 @@ func (g *Graph) RemoveNode(u NodeID) {
 	if !ok {
 		return
 	}
+	g.epoch++
 	rr := g.recs[su]
 	for i := rr.off; i < rr.off+rr.n; i++ {
 		v, m := g.poolV[i], g.poolM[i]
