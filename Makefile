@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race vet fmt check bench bench-graph bench-recovery fuzz fuzz-churn fuzz-graph sim sim-scale dht experiments
+.PHONY: all build test test-race vet fmt check bench bench-graph bench-core bench-recovery fuzz fuzz-churn fuzz-graph sim sim-scale dht experiments
 
 all: check
 
@@ -34,6 +34,14 @@ bench:
 # report 0 allocs/op).
 bench-graph:
 	$(GO) test ./internal/graph -run '^$$' -bench 'WalkHop|GraphChurn' -benchtime 100000x
+
+# Engine-state benchmarks + alloc gates: one steady-state recovery op
+# (delete+insert) at 10^5 nodes on the dense slot-indexed store vs the
+# map-store oracle, and the zero-allocation gates on the recovery path
+# and the speculation write-set (mirrors bench-graph one layer up).
+bench-core:
+	$(GO) test ./internal/core -run 'ZeroAllocs' -count 1 -v
+	$(GO) test ./internal/core -run '^$$' -bench RecoveryOp -benchtime 2000x -timeout 20m
 
 # Parallel-recovery benchmarks at 1/4/8 walk workers. Seeded runs are
 # byte-identical at every width (enforced by TestParallelMatchesSerial*),

@@ -1,0 +1,170 @@
+package dex_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/dex"
+)
+
+// TestCloseRacesDo: Close fired mid-stream against goroutines running
+// Do() atomic sections. The contract under test: every Do either runs
+// to completion before Close (nil error) or is rejected whole with
+// ErrClosed; no Do body ever starts after Close has returned; and the
+// state Close freezes is a consistent one (invariants hold on the
+// final network). Run under -race this also gates the memory model of
+// the closed-flag handoff.
+func TestCloseRacesDo(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		c, err := dex.NewConcurrent(dex.WithInitialSize(24), dex.WithSeed(int64(70+round)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var (
+			closeReturned atomic.Bool
+			lateBody      atomic.Bool
+			inFlight      atomic.Int64
+			rejected      atomic.Int64
+			completed     atomic.Int64
+		)
+		var wg sync.WaitGroup
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					err := c.Do(func(nw *dex.Network) error {
+						if closeReturned.Load() {
+							lateBody.Store(true)
+						}
+						inFlight.Add(1)
+						defer inFlight.Add(-1)
+						return nw.Insert(nw.FreshID(), nw.Nodes()[0])
+					})
+					switch {
+					case err == nil:
+						completed.Add(1)
+					case errors.Is(err, dex.ErrClosed):
+						rejected.Add(1)
+						return
+					default:
+						t.Errorf("Do returned %v", err)
+						return
+					}
+				}
+			}()
+		}
+		// Let the mutators get going, then slam the door mid-stream.
+		for completed.Load() < 16 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		closeReturned.Store(true) // set first: narrows the late-body detection window
+		if n := inFlight.Load(); n != 0 {
+			t.Fatalf("Close returned with %d Do bodies in flight", n)
+		}
+		wg.Wait()
+		if lateBody.Load() {
+			t.Fatal("a Do body started after Close returned")
+		}
+		if rejected.Load() != 6 {
+			t.Fatalf("%d goroutines saw ErrClosed, want 6", rejected.Load())
+		}
+		// Reads remain legal after Close; the frozen state must be sound.
+		if err := c.Do((*dex.Network).CheckInvariants); !errors.Is(err, dex.ErrClosed) {
+			t.Fatalf("Do after Close: %v, want ErrClosed", err)
+		}
+		if c.Size() < 24 {
+			t.Fatalf("size shrank to %d under insert-only churn", c.Size())
+		}
+	}
+}
+
+// TestCloseRacesDoAsyncFlushOrdering: Close racing mutators in async
+// mode must (a) deliver every event already published before it
+// returns, (b) preserve publish order end to end, and (c) leave the
+// stream closed — nothing may trickle in afterwards. Publish order is
+// observable through the per-step edge diffs: EdgesChanged.Step is the
+// engine's step counter, so the recorded sequence must be strictly
+// increasing with no entry beyond the step count Close froze.
+func TestCloseRacesDoAsyncFlushOrdering(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		c, err := dex.NewConcurrent(
+			dex.WithInitialSize(24),
+			dex.WithSeed(int64(90+round)),
+			dex.WithAsyncEvents(4),
+			dex.WithEdgeEvents(true),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var (
+			mu    sync.Mutex
+			steps []int
+		)
+		c.Subscribe(func(ev dex.Event) {
+			if ec, ok := ev.(dex.EdgesChanged); ok {
+				mu.Lock()
+				steps = append(steps, ec.Step)
+				mu.Unlock()
+			}
+		})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					err := c.Do(func(nw *dex.Network) error {
+						return nw.Insert(nw.FreshID(), nw.Nodes()[0])
+					})
+					if errors.Is(err, dex.ErrClosed) {
+						return
+					}
+					if err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		for c.Size() < 64 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		frozen := c.Totals().Steps
+		mu.Lock()
+		drained := len(steps)
+		got := append([]int(nil), steps...)
+		mu.Unlock()
+		wg.Wait()
+
+		if drained == 0 {
+			t.Fatal("no edge diffs delivered before Close returned")
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("round %d: delivery order broken: step %d after %d", round, got[i], got[i-1])
+			}
+		}
+		if last := got[len(got)-1]; last > frozen {
+			t.Fatalf("round %d: delivered step %d beyond the %d steps Close froze", round, last, frozen)
+		}
+		// Close's contract: the queue is drained before it returns, so
+		// nothing may arrive afterwards.
+		time.Sleep(20 * time.Millisecond)
+		mu.Lock()
+		after := len(steps)
+		mu.Unlock()
+		if after != drained {
+			t.Fatalf("round %d: %d events trickled in after Close returned", round, after-drained)
+		}
+	}
+}

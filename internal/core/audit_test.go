@@ -52,7 +52,7 @@ func TestCheckNodeDetectsForeignEdge(t *testing.T) {
 
 func TestCheckNodeDetectsLoadCorruption(t *testing.T) {
 	nw, u := corruptible(t)
-	nw.load[u]++
+	nw.st.corruptLoad(u, 1)
 	if err := nw.CheckNode(u); err == nil {
 		t.Fatal("node-local audit missed a load mismatch")
 	}
@@ -60,11 +60,7 @@ func TestCheckNodeDetectsLoadCorruption(t *testing.T) {
 
 func TestCheckNodeDetectsMappingCorruption(t *testing.T) {
 	nw, u := corruptible(t)
-	var x Vertex = -1
-	for y := range nw.sim[u] {
-		x = y
-		break
-	}
+	x := nw.st.simMin(u)
 	if x < 0 {
 		t.Fatal("node holds no vertex")
 	}
@@ -93,7 +89,7 @@ func TestSampledAuditChecksDirtyNodes(t *testing.T) {
 	// next operation touching it marks it dirty, so the sampled audit
 	// must examine it.
 	victim := nw.Nodes()[0]
-	nw.load[victim]++
+	nw.st.corruptLoad(victim, 1)
 	if err := nw.Insert(nw.FreshID(), victim); err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +102,7 @@ func TestSampledAuditChecksDirtyNodes(t *testing.T) {
 
 func TestAuditOffIsSilent(t *testing.T) {
 	nw, u := corruptible(t)
-	nw.load[u]++ // corrupted on purpose
+	nw.st.corruptLoad(u, 1) // corrupted on purpose
 	if err := nw.Audit(AuditOff); err != nil {
 		t.Fatalf("AuditOff reported %v", err)
 	}
@@ -127,8 +123,8 @@ func TestSampleNodeTracksLiveSet(t *testing.T) {
 		if err := traceStep(nw, rng); err != nil {
 			t.Fatal(err)
 		}
-		if len(nw.nodeList) != nw.Size() {
-			t.Fatalf("step %d: sampler mirror has %d entries, network %d nodes", i, len(nw.nodeList), nw.Size())
+		if len(nw.st.nodeList) != nw.Size() {
+			t.Fatalf("step %d: sampler mirror has %d entries, network %d nodes", i, len(nw.st.nodeList), nw.Size())
 		}
 	}
 	live := make(map[NodeID]bool, nw.Size())

@@ -41,10 +41,10 @@ func (nw *Network) InsertBatch(specs []InsertSpec) error {
 			return fmt.Errorf("%w: %d repeated in batch", ErrDuplicateID, s.ID)
 		}
 		seen[s.ID] = true
-		if _, dup := nw.sim[s.ID]; dup {
+		if nw.st.has(s.ID) {
 			return fmt.Errorf("%w: %d", ErrDuplicateID, s.ID)
 		}
-		if _, ok := nw.sim[s.Attach]; !ok {
+		if !nw.st.has(s.Attach) {
 			return fmt.Errorf("%w: attach point %d", ErrUnknownNode, s.Attach)
 		}
 		fanIn[s.Attach]++
@@ -67,8 +67,6 @@ func (nw *Network) insertOneOfBatch(s InsertSpec) {
 	if s.ID >= nw.nextID {
 		nw.nextID = s.ID + 1
 	}
-	nw.real.AddNode(s.ID)
-	nw.sim[s.ID] = make(map[Vertex]struct{})
 	nw.addNodeEntry(s.ID)
 	nw.setLoad(s.ID, 0, true)
 	nw.rebuiltReal = false
@@ -87,7 +85,7 @@ func (nw *Network) DeleteBatch(ids []NodeID) error {
 	}
 	victim := make(map[NodeID]bool, len(ids))
 	for _, id := range ids {
-		if _, ok := nw.sim[id]; !ok {
+		if !nw.st.has(id) {
 			return fmt.Errorf("%w: %d", ErrUnknownNode, id)
 		}
 		if victim[id] {
@@ -141,10 +139,8 @@ func (nw *Network) DeleteBatch(ids []NodeID) error {
 		for _, h := range orphans {
 			nw.moveHolding(h, v)
 		}
-		nw.real.RemoveNode(id)
-		delete(nw.sim, id)
-		nw.removeNodeEntry(id)
 		nw.dropLoadEntry(id)
+		nw.st.removeNode(id)
 		if coordLost {
 			nw.step.Messages += 2
 			nw.step.Rounds++
@@ -164,7 +160,7 @@ func (nw *Network) DeleteBatch(ids []NodeID) error {
 // anySurvivor returns the smallest live node not in the exclusion set.
 func (nw *Network) anySurvivor(excl map[NodeID]bool) NodeID {
 	best := NodeID(-1)
-	for u := range nw.sim {
+	for _, u := range nw.st.nodeList {
 		if excl != nil && excl[u] {
 			continue
 		}
@@ -195,26 +191,24 @@ func NewWithMapping(p int64, owner []graph.NodeID, cfg Config) (*Network, error)
 		rng:   newRng(cfg.Seed),
 		z:     z,
 		simOf: append([]NodeID(nil), owner...),
-		sim:   make(map[NodeID]map[Vertex]struct{}),
-		load:  make(map[NodeID]int),
 	}
 	nw.initTracking()
 	for x := int64(0); x < p; x++ {
 		u := owner[x]
-		if nw.sim[u] == nil {
-			nw.sim[u] = make(map[Vertex]struct{})
+		if !nw.st.has(u) {
 			nw.addNodeEntry(u)
 		}
-		nw.sim[u][x] = struct{}{}
+		nw.st.simAdd(u, x)
 		if u >= nw.nextID {
 			nw.nextID = u + 1
 		}
 	}
-	for u, set := range nw.sim {
-		if len(set) > 4*cfg.Zeta {
-			return nil, fmt.Errorf("core: node %d load %d exceeds 4*zeta", u, len(set))
+	for _, u := range nw.st.nodeList {
+		l := nw.st.simLen(u)
+		if l > 4*cfg.Zeta {
+			return nil, fmt.Errorf("core: node %d load %d exceeds 4*zeta", u, l)
 		}
-		nw.setLoad(u, len(set), true)
+		nw.setLoad(u, l, true)
 	}
 	nw.applyRealDiff(nw.expectedRealGraph())
 	nw.refreshDist0()

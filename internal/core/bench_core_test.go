@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file is the bench-core tier: the engine-state benchmarks and
+// allocation-regression gates for the dense slot-indexed store, the
+// per-op analogue of internal/graph's bench/alloc gates for the arena.
+// BenchmarkRecoveryOp prices one steady-state recovery operation
+// (delete + insert at fixed n) on the dense columns against the
+// map-store oracle; the Test*Allocs gates pin the dense recovery path
+// at zero allocations per op so a map or slice can't silently sneak
+// back into it.
+
+// steadyEngine builds an n-node network, churned enough that the
+// store's free lists and the arena runs are at steady-state capacity,
+// with history capped so metrics append-growth can't masquerade as a
+// recovery-path allocation.
+func steadyEngine(tb testing.TB, n int, useMap bool) *Network {
+	cfg := DefaultConfig()
+	cfg.HistoryCap = 128
+	cfg.useMapState = useMap
+	nw, err := New(64, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for nw.Size() < n {
+		k := n - nw.Size()
+		if k > 512 {
+			k = 512
+		}
+		nodes := nw.Nodes()
+		specs := make([]InsertSpec, k)
+		for j := range specs {
+			specs[j] = InsertSpec{ID: nw.FreshID(), Attach: nodes[j%len(nodes)]}
+		}
+		if err := nw.InsertBatch(specs); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	// Settle: cross any in-flight rebuild and warm the churn path.
+	for i := 0; i < 2*n/100+200; i++ {
+		if err := nw.Delete(nw.SampleNode(rng)); err != nil {
+			tb.Fatal(err)
+		}
+		if err := nw.Insert(nw.FreshID(), nw.SampleNode(rng)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return nw
+}
+
+// BenchmarkRecoveryOp measures one steady-state recovery operation — a
+// delete (adoption + redistribution walks) followed by an insert
+// (donor walk) at constant n — on the dense slot-indexed store versus
+// the historical map store. Both engines run the identical seeded op
+// stream (the two backends are byte-identical in behavior, enforced by
+// TestDenseMatchesMapOracle), so the delta is pure representation
+// cost. Run via `make bench-core`.
+func BenchmarkRecoveryOp(b *testing.B) {
+	for _, size := range []int{100000} {
+		for _, backend := range []struct {
+			name   string
+			useMap bool
+		}{{"dense", false}, {"mapstore", true}} {
+			b.Run(fmt.Sprintf("%s/n=%d", backend.name, size), func(b *testing.B) {
+				nw := steadyEngine(b, size, backend.useMap)
+				rng := rand.New(rand.NewSource(23))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := nw.Delete(nw.SampleNode(rng)); err != nil {
+						b.Fatal(err)
+					}
+					if err := nw.Insert(nw.FreshID(), nw.SampleNode(rng)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRecoveryOpZeroAllocsSteadyState is the alloc-regression gate on
+// the recovery path: at steady state (no type-2 rebuild in the
+// window), a delete+insert pair must not allocate — walks, vertex-set
+// moves, load updates, dirty tracking, and capped-history append all
+// run in recycled storage. The window is placed between rebuilds by
+// construction: theta*n steps separate triggers at this size, far
+// more than the samples consumed.
+func TestRecoveryOpZeroAllocsSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state warmup is a few thousand ops")
+	}
+	nw := steadyEngine(t, 4096, false)
+	rng := rand.New(rand.NewSource(29))
+	// One more warm lap so FreshID growth and scratch slices are sized.
+	for i := 0; i < 256; i++ {
+		if err := nw.Delete(nw.SampleNode(rng)); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.Insert(nw.FreshID(), nw.SampleNode(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(400, func() {
+		if err := nw.Delete(nw.SampleNode(rng)); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.Insert(nw.FreshID(), nw.SampleNode(rng)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state delete+insert allocates %.2f per pair, want 0", allocs)
+	}
+}
+
+// TestSpecWriteSetZeroAllocs pins the speculation write-set reset and
+// membership path: arming, marking through a commit, and probing must
+// not allocate once the shard columns exist — this is the read path
+// pool workers race through on every revalidated batch.
+func TestSpecWriteSetZeroAllocs(t *testing.T) {
+	nw := mustNew(t, 64, DefaultConfig())
+	nodes := nw.Nodes()
+	visited := []NodeID{nodes[1], nodes[3], nodes[5]}
+	allocs := testing.AllocsPerRun(1000, func() {
+		nw.st.armSpec()
+		nw.st.markDirty(nodes[3])
+		if !nw.specDisturbed(visited) {
+			t.Fatal("write-set lost a mark")
+		}
+		nw.st.disarmSpec()
+	})
+	if allocs != 0 {
+		t.Fatalf("spec write-set cycle allocates %.2f, want 0", allocs)
+	}
+}

@@ -175,6 +175,69 @@ func TestDifferentialChurnTraces(t *testing.T) {
 	}
 }
 
+// TestDenseMatchesMapOracle is the store-swap safety gate, mirroring
+// how PR 3 gated the graph arena against graph.Ref: the dense
+// slot-indexed store and the historical map store must be externally
+// indistinguishable — byte-identical History, virtual mapping, loads,
+// vertex sets, and overlay — through growth, deletion storms, batches,
+// and both rebuild modes, at every parallel worker width and with the
+// per-operation audit tiers running on both engines throughout.
+func TestDenseMatchesMapOracle(t *testing.T) {
+	for _, mode := range []RecoveryMode{Staggered, Simplified} {
+		for _, workers := range []int{1, 4, 8} {
+			for _, audit := range []AuditMode{AuditOff, AuditSampled, AuditFull} {
+				if audit == AuditFull && workers == 4 {
+					continue // full audit is O(p) per op; two widths suffice
+				}
+				t.Run(fmt.Sprintf("%v/workers=%d/audit=%v", mode, workers, audit), func(t *testing.T) {
+					cfg := DefaultConfig()
+					cfg.Mode = mode
+					cfg.Workers = workers
+					cfg.Seed = int64(19 + workers)
+					dense, err := New(32, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer dense.Close()
+					cfgM := cfg
+					cfgM.useMapState = true
+					oracle, err := New(32, cfgM)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer oracle.Close()
+					rngD := rand.New(rand.NewSource(cfg.Seed * 31))
+					rngM := rand.New(rand.NewSource(cfg.Seed * 31))
+					steps := 220
+					if audit == AuditFull {
+						steps = 120
+					}
+					for i := 0; i < steps; i++ {
+						errD := traceStep(dense, rngD)
+						errM := traceStep(oracle, rngM)
+						if (errD == nil) != (errM == nil) {
+							t.Fatalf("op %d: errors diverged: %v vs %v", i, errD, errM)
+						}
+						if dense.LastStep() != oracle.LastStep() {
+							t.Fatalf("op %d: metrics diverged:\ndense:  %+v\noracle: %+v", i, dense.LastStep(), oracle.LastStep())
+						}
+						if err := dense.Audit(audit); err != nil {
+							t.Fatalf("op %d: dense audit: %v", i, err)
+						}
+						if err := oracle.Audit(audit); err != nil {
+							t.Fatalf("op %d: oracle audit: %v", i, err)
+						}
+					}
+					equalEngineState(t, "after oracle churn", dense, oracle)
+					if err := dense.CheckInvariants(); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestDirtySetBoundedOnType1Steps asserts the tentpole's o(p) claim at
 // the mechanism level: an operation that triggers no rebuild commit
 // dirties O(zeta * operation footprint) nodes, independent of n and p.
@@ -198,9 +261,9 @@ func TestDirtySetBoundedOnType1Steps(t *testing.T) {
 		if active, _ := nw.Rebuilding(); active || st.StaggerActive || st.Recovery != RecoveryType1 {
 			continue // rebuild steps may legitimately touch more
 		}
-		if len(nw.dirty) > bound {
+		if got := nw.st.dirtyCount(); got > bound {
 			t.Fatalf("step %d: type-1 op dirtied %d nodes (> %d) at n=%d p=%d",
-				i, len(nw.dirty), bound, nw.Size(), nw.P())
+				i, got, bound, nw.Size(), nw.P())
 		}
 	}
 }

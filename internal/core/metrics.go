@@ -132,34 +132,14 @@ func (t *Totals) absorb(s StepMetrics) {
 // unaffected by Config.HistoryCap.
 func (nw *Network) Totals() Totals { return nw.totals }
 
-// stepMapResetCap is the live-entry count past which a per-step map is
-// reallocated instead of cleared. clear() on a Go map costs its table
-// capacity, not its live count, and the capacity never shrinks — so
-// after one type-2 rebuild marks all n nodes dirty, every later step
-// would pay an O(n) memclr to wipe a handful of entries (at 10^5 nodes
-// that memclr dominated the whole churn profile). Reallocating once,
-// right after the spike, keeps steady-state steps allocation-free and
-// the reset cost proportional to actual use.
-const stepMapResetCap = 1024
-
-// resetStepMap empties a per-step tracking map without inheriting a
-// spike's table capacity (see stepMapResetCap). Shared by the dirty
-// set, the edge-delta batch, and the speculation write-set so the
-// threshold policy cannot drift between them.
-func resetStepMap[K comparable, V any](m map[K]V) map[K]V {
-	if len(m) > stepMapResetCap {
-		return make(map[K]V, 64)
-	}
-	clear(m)
-	return m
-}
-
 func (nw *Network) beginStep(op OpKind, target NodeID) {
 	nw.step = StepMetrics{Step: nw.totals.Steps + 1, Op: op, Target: target}
 	nw.rebuiltReal = false
-	nw.dirty = resetStepMap(nw.dirty)
+	// Dirty tracking resets by generation bump in the dense store (the
+	// map oracle still pays the scratch-map reset; see store.go).
+	nw.st.resetDirty()
 	if len(nw.edgeDeltas) > 0 {
-		nw.edgeDeltas = resetStepMap(nw.edgeDeltas)
+		nw.edgeDeltas = resetScratchMap(nw.edgeDeltas)
 	}
 }
 

@@ -22,6 +22,11 @@
 // and edge change increments a counter. The congest package proves the
 // walk and flood fast paths equal their goroutine message-passing
 // executions, so these counters are faithful to the CONGEST model.
+//
+// Per-node engine state (loads, vertex sets, dirty tracking, staggering
+// bookkeeping) lives in a slot-indexed columnar store layered on the
+// overlay graph's dense slot table — see store.go for the layout and
+// the map-based oracle it is differentially tested against.
 package core
 
 import (
@@ -93,6 +98,12 @@ type Config struct {
 	// discarded, so long churn runs hold O(cap) metrics memory while
 	// Totals keeps exact lifetime aggregates.
 	HistoryCap int
+
+	// useMapState selects the historical map-keyed state store instead
+	// of the dense slot-indexed columns: the differential oracle for
+	// engine_equiv_test and the bench-core baseline. Test-only, hence
+	// unexported; the two backends are byte-identical in behavior.
+	useMapState bool
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -114,15 +125,13 @@ type Network struct {
 
 	z     *pcycle.Cycle // current virtual graph Z(p)
 	simOf []NodeID      // Phi: vertex -> simulating node
-	sim   map[NodeID]map[Vertex]struct{}
-	load  map[NodeID]int // total load incl. staggering new vertices
-	real  *graph.Graph   // the overlay graph G_t (contraction of Z under Phi)
+	real  *graph.Graph  // the overlay graph G_t (contraction of Z under Phi)
 
-	// nodeList/nodePos mirror the live node set in insertion order so a
-	// uniform node can be sampled in O(1) (adversaries at 10^6 nodes
-	// cannot afford the sorted Nodes() snapshot per step).
-	nodeList []NodeID
-	nodePos  map[NodeID]int
+	// st holds every per-node table — loads, Sim/NewSim vertex sets,
+	// dirty + speculation tracking, the O(1) sampling mirror, and the
+	// staggering counters — in slot-indexed columns over nw.real's slot
+	// table (or, for the differential oracle, in the historical maps).
+	st state
 
 	dist0 []int32 // cached BFS distances from vertex 0 (coordinator routing)
 
@@ -137,11 +146,6 @@ type Network struct {
 	history     []StepMetrics
 	totals      Totals
 	rebuiltReal bool // set when a one-step type-2 rebuild rewired nw.real
-
-	// dirty is the set of nodes whose real-edge row or load changed during
-	// the current step; sampled audits verify exactly these nodes, so the
-	// per-operation audit cost tracks the operation's own footprint.
-	dirty map[NodeID]struct{}
 
 	// edgeDeltas accumulates the step's net real-edge changes per node
 	// pair; it is only maintained while an edge observer is registered and
@@ -166,10 +170,21 @@ type Network struct {
 	// replaced (inflation/deflation commit) with the new modulus.
 	rebuildObserver func(pNew int64)
 
+	// Steady-state walk predicates, built once: closures capture the
+	// network, per-op parameters flow through stopExclude, so the hot
+	// recovery path allocates no closure per operation. Scratch buffers
+	// for vertexHoldings live here for the same reason.
+	steadyInsertStop func(NodeID) bool
+	steadyLowStop    func(NodeID) bool
+	stopExclude      NodeID
+	holdScratch      []holding
+	vertScratch      []Vertex
+
 	// Parallel-recovery state (see parallel.go). seedQ/seedHead form the
 	// FIFO that keeps the walk-seed stream identical to the serial
-	// path's; specTouched records commit write-sets while non-nil;
-	// specEpoch versions stagger-state transitions.
+	// path's; the store's speculation write-set records commit
+	// footprints while armed; specEpoch versions stagger-state
+	// transitions.
 	workers     int
 	pool        *congest.WalkPool
 	seedQ       []uint64
@@ -183,7 +198,6 @@ type Network struct {
 	liveIdx     []int
 	liveSpecs   []congest.WalkSpec
 	liveOuts    []congest.WalkOutcome
-	specTouched map[NodeID]struct{}
 	specEpoch   uint64
 	specHits    int
 	specMisses  int
@@ -213,22 +227,19 @@ func New(n0 int, cfg Config) (*Network, error) {
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		z:      z,
 		simOf:  make([]NodeID, p0),
-		sim:    make(map[NodeID]map[Vertex]struct{}, n0),
-		load:   make(map[NodeID]int, n0),
 		nextID: NodeID(n0),
 	}
 	nw.initTracking()
 	for u := 0; u < n0; u++ {
-		nw.sim[NodeID(u)] = make(map[Vertex]struct{})
 		nw.addNodeEntry(NodeID(u))
 	}
 	for x := int64(0); x < p0; x++ {
 		u := NodeID(x * int64(n0) / p0)
 		nw.simOf[x] = u
-		nw.sim[u][x] = struct{}{}
+		nw.st.simAdd(u, x)
 	}
 	for u := 0; u < n0; u++ {
-		nw.setLoad(NodeID(u), len(nw.sim[NodeID(u)]), true)
+		nw.setLoad(NodeID(u), nw.st.simLen(NodeID(u)), true)
 	}
 	nw.applyRealDiff(nw.expectedRealGraph())
 	nw.refreshDist0()
@@ -236,24 +247,29 @@ func New(n0 int, cfg Config) (*Network, error) {
 }
 
 // initTracking allocates the bookkeeping shared by both constructors:
-// O(1) node sampling, dirty-node tracking, and the audit random source.
-// nw.real is assigned once here (and never replaced afterwards: rebuilds
-// mutate it in place via applyRealDiff, so references stay live).
+// the slot-indexed state store (O(1) node sampling, dirty-node
+// tracking, vertex sets) and the audit random source. nw.real is
+// assigned once here (and never replaced afterwards: rebuilds mutate it
+// in place via applyRealDiff, so references stay live) and the store's
+// columns grow and recycle with its slot table from here on.
 func (nw *Network) initTracking() {
 	nw.real = graph.New()
-	nw.nodePos = make(map[NodeID]int)
-	nw.dirty = make(map[NodeID]struct{})
+	nw.st.init(nw.real, nw.cfg.useMapState, nw.cfg.Zeta)
 	nw.auditRng = rand.New(rand.NewSource(nw.cfg.Seed ^ 0x5eed_a0d1))
 	nw.workers = nw.cfg.Workers
 	if nw.workers < 1 {
 		nw.workers = 1
 	}
+	st := &nw.st
+	lowT := 2 * nw.cfg.Zeta
+	nw.steadyInsertStop = func(u NodeID) bool { return u != nw.stopExclude && st.loadOf(u) >= 2 }
+	nw.steadyLowStop = func(u NodeID) bool { return st.loadOf(u) <= lowT }
 }
 
 // --- basic accessors -------------------------------------------------------
 
 // Size returns the current number of real nodes n.
-func (nw *Network) Size() int { return len(nw.sim) }
+func (nw *Network) Size() int { return nw.st.size() }
 
 // P returns the current p-cycle modulus.
 func (nw *Network) P() int64 { return nw.z.P() }
@@ -269,7 +285,7 @@ func (nw *Network) Nodes() []NodeID { return nw.real.Nodes() }
 
 // Load returns the total number of virtual vertices simulated by u
 // (current p-cycle plus, during staggering, the next one).
-func (nw *Network) Load(u NodeID) int { return nw.load[u] }
+func (nw *Network) Load(u NodeID) int { return nw.st.loadOf(u) }
 
 // OwnerOf returns the node simulating virtual vertex x of the current
 // p-cycle.
@@ -313,31 +329,16 @@ func (nw *Network) FreshID() NodeID {
 	return id
 }
 
-// addNodeEntry / removeNodeEntry keep the O(1) sampling mirror of the
-// live node set in sync (swap-with-last deletion).
-func (nw *Network) addNodeEntry(u NodeID) {
-	nw.nodePos[u] = len(nw.nodeList)
-	nw.nodeList = append(nw.nodeList, u)
-}
-
-func (nw *Network) removeNodeEntry(u NodeID) {
-	i, ok := nw.nodePos[u]
-	if !ok {
-		return
-	}
-	last := len(nw.nodeList) - 1
-	nw.nodeList[i] = nw.nodeList[last]
-	nw.nodePos[nw.nodeList[i]] = i
-	nw.nodeList = nw.nodeList[:last]
-	delete(nw.nodePos, u)
-}
+// addNodeEntry registers a fresh node with the store: graph slot (and
+// hence dense columns), empty vertex set, and the O(1) sampling mirror.
+func (nw *Network) addNodeEntry(u NodeID) { nw.st.addNode(u) }
 
 // SampleNode returns a uniformly random live node id in O(1), drawing
 // from r. Unlike Nodes() it performs no sorting or allocation, so
 // adversaries can churn million-node networks without a per-step O(n)
 // scan.
 func (nw *Network) SampleNode(r *rand.Rand) NodeID {
-	return nw.nodeList[r.Intn(len(nw.nodeList))]
+	return nw.st.nodeList[r.Intn(len(nw.st.nodeList))]
 }
 
 // SetEdgeObserver registers a callback receiving, once per step, the
@@ -363,8 +364,8 @@ func (nw *Network) flushEdgeDeltas() {
 		}
 	}
 	// A rebuild's O(n)-entry diff must not leave every later clear()
-	// paying for the spike's table capacity (see stepMapResetCap).
-	nw.edgeDeltas = resetStepMap(nw.edgeDeltas)
+	// paying for the spike's table capacity (see scratchMapResetCap).
+	nw.edgeDeltas = resetScratchMap(nw.edgeDeltas)
 	if len(out) == 0 {
 		return
 	}
@@ -380,8 +381,8 @@ func (nw *Network) flushEdgeDeltas() {
 // MaxLoad returns the maximum total load over all nodes.
 func (nw *Network) MaxLoad() int {
 	m := 0
-	for _, l := range nw.load {
-		if l > m {
+	for _, u := range nw.st.nodeList {
+		if l := nw.st.loadOf(u); l > m {
 			m = l
 		}
 	}
@@ -400,17 +401,18 @@ func (nw *Network) walkLen() int {
 // --- load & set-size tracking ----------------------------------------------
 
 // setLoad updates u's load and the |Spare| / |Low| counters. fresh marks
-// a node that had no previous load entry.
+// a node that had no previous load entry. A no-change write is skipped
+// entirely (in particular, it marks nothing dirty).
 func (nw *Network) setLoad(u NodeID, l int, fresh bool) {
-	old, had := nw.load[u], !fresh
-	if fresh {
-		old = -1
-	}
-	if had && old == l {
-		return
+	old := -1
+	if !fresh {
+		old = nw.st.loadOf(u)
+		if old == l {
+			return
+		}
 	}
 	lowT := 2 * nw.cfg.Zeta
-	if had {
+	if !fresh {
 		if old >= 2 {
 			nw.nSpare--
 		}
@@ -424,27 +426,23 @@ func (nw *Network) setLoad(u NodeID, l int, fresh bool) {
 	if l <= lowT {
 		nw.nLow++
 	}
-	nw.load[u] = l
-	nw.markDirty(u)
+	nw.st.putLoadDirty(u, l)
 }
 
 // dropLoadEntry removes u from the load tracking (node deletion).
 func (nw *Network) dropLoadEntry(u NodeID) {
-	l, ok := nw.load[u]
-	if !ok {
-		return
-	}
+	l := nw.st.loadOf(u)
 	if l >= 2 {
 		nw.nSpare--
 	}
 	if l <= 2*nw.cfg.Zeta {
 		nw.nLow--
 	}
-	delete(nw.load, u)
+	nw.st.clearLoad(u)
 }
 
 func (nw *Network) bumpLoad(u NodeID, delta int) {
-	nw.setLoad(u, nw.load[u]+delta, false)
+	nw.setLoad(u, nw.st.loadOf(u)+delta, false)
 }
 
 // --- virtual-edge enumeration and vertex movement --------------------------
@@ -467,14 +465,9 @@ func pairKey(a, b NodeID) edgeKey {
 // sampled audits re-verify exactly the dirty nodes. Every mutation a
 // walk or stop predicate can observe funnels through here (edge rows
 // via rawAdd/RemoveEdge*, loads and stagger counters via setLoad), so
-// while specTouched is armed it doubles as the write-set recorder that
+// while the store's write-set is armed it doubles as the recorder that
 // revalidates speculative parallel walks.
-func (nw *Network) markDirty(u NodeID) {
-	nw.dirty[u] = struct{}{}
-	if nw.specTouched != nil {
-		nw.specTouched[u] = struct{}{}
-	}
-}
+func (nw *Network) markDirty(u NodeID) { nw.st.markDirty(u) }
 
 // rawAddEdge / rawRemoveEdge mutate the live overlay and feed the
 // dirty-node set and (when observed) the step's edge-delta batch, without
@@ -561,13 +554,10 @@ func (nw *Network) moveVertex(x Vertex, w NodeID) {
 			nw.removeRealEdge(nw.stag.newSimOf[pe.src], u)
 		}
 	}
-	delete(nw.sim[u], x)
+	nw.st.simRemove(u, x)
 	nw.bumpLoad(u, -1)
 	nw.simOf[x] = w
-	if nw.sim[w] == nil {
-		nw.sim[w] = make(map[Vertex]struct{})
-	}
-	nw.sim[w][x] = struct{}{}
+	nw.st.simAdd(w, x)
 	nw.bumpLoad(w, 1)
 	for _, t := range nw.slotTargets(x) {
 		if nw.stag != nil && nw.stag.phase == 2 && nw.stag.dropped(t) {
@@ -582,10 +572,11 @@ func (nw *Network) moveVertex(x Vertex, w NodeID) {
 		// An unprocessed vertex carries its projected cloud load and its
 		// pending-work accounting with it.
 		if !nw.stag.processed(x) {
-			nw.stag.effNew[u] -= nw.stag.projection(x)
-			nw.stag.effNew[w] += nw.stag.projection(x)
-			nw.stag.unprocOld[u]--
-			nw.stag.unprocOld[w]++
+			proj := nw.stag.projection(x)
+			nw.st.addEffNew(u, -proj)
+			nw.st.addEffNew(w, proj)
+			nw.st.addUnprocOld(u, -1)
+			nw.st.addUnprocOld(w, 1)
 		}
 	}
 	if nw.transferObserver != nil {
@@ -642,8 +633,8 @@ func (nw *Network) applyRealDiff(want *graph.Graph) {
 		for _, v := range nw.real.Neighbors(u) {
 			nw.rawRemoveEdgeMult(u, v, nw.real.Multiplicity(u, v))
 		}
-		nw.real.RemoveNode(u)
 		nw.markDirty(u)
+		nw.real.RemoveNode(u)
 	}
 	for _, u := range want.Nodes() {
 		if !nw.real.HasNode(u) {
@@ -684,17 +675,13 @@ func (nw *Network) Dist0(x Vertex) int { return int(nw.dist0[x]) }
 // anyVertexOf returns some vertex simulated at u (smallest for
 // determinism).
 func (nw *Network) anyVertexOf(u NodeID) (Vertex, bool) {
-	best := Vertex(-1)
-	for x := range nw.sim[u] {
-		if best < 0 || x < best {
-			best = x
-		}
-	}
-	if best >= 0 {
+	if best := nw.st.simMin(u); best >= 0 {
 		return best, true
 	}
 	if nw.stag != nil {
-		return nw.stag.anyNewVertexOf(u)
+		if best := nw.st.newMin(u); best >= 0 {
+			return best, true
+		}
 	}
 	return 0, false
 }
@@ -758,3 +745,29 @@ var (
 func newCycleChecked(p int64) (*pcycle.Cycle, error) { return pcycle.New(p) }
 
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// deflationFor returns the deflation map a type-2 rebuild from the
+// current state may use, requiring pNew to stay at or above the live
+// node count (plus, for a staggered rebuild, slack for the adversarial
+// insertions its Theta(n)-step flight can absorb). Without the floor a
+// small-zeta network whose loads cross 2*zeta while n is still large
+// would start a deflation with pNew < n — a mapping that cannot be
+// surjective, so its forced contender resolution is structurally
+// infeasible and the seed implementation panicked (the documented
+// zeta<=3 deep-crash corner). ok=false means no admissible prime
+// exists and the rebuild must simply not run yet; loads stay bounded
+// because |Low| >= 1 whenever deflation is infeasible at this floor
+// (pNew >= n forces average load <= 4 right after the commit, and the
+// trigger re-fires as n keeps shrinking).
+func (nw *Network) deflationFor(staggered bool) (pcycle.Deflation, bool) {
+	n := nw.Size()
+	floor := int64(n)
+	if staggered {
+		floor += int64(2*nw.cfg.Theta*float64(n)) + 8
+	}
+	def, err := pcycle.NewDeflationFloor(nw.z.P(), floor)
+	if err != nil {
+		return pcycle.Deflation{}, false
+	}
+	return def, true
+}

@@ -176,27 +176,23 @@ func (nw *Network) runSpecWindow(specs []congest.WalkSpec, outs []congest.WalkOu
 	}
 }
 
-// beginSpecCommits resets the touched-node recorder before a window's
-// serial commits; markDirty feeds it while it is non-nil. Like the
-// other per-step tracking maps it resets through resetStepMap, so a
-// type-2 rebuild flooding it with every node cannot tax later windows
-// with its leftover table capacity.
-func (nw *Network) beginSpecCommits() {
-	if nw.specTouched == nil {
-		nw.specTouched = make(map[NodeID]struct{}, 64)
-		return
-	}
-	nw.specTouched = resetStepMap(nw.specTouched)
-}
+// beginSpecCommits resets and arms the touched-node recorder before a
+// window's serial commits; markDirty feeds it while armed. In the
+// dense store the reset is a generation bump over per-shard stamp
+// columns — the map-spike clear() pathology PR 4 worked around cannot
+// exist here (the oracle backend still resets through the scratch-map
+// helper).
+func (nw *Network) beginSpecCommits() { nw.st.armSpec() }
 
 // specDisturbed reports whether any node the speculative walk visited
-// was mutated by a commit since the batch was taken.
+// was mutated by a commit since the batch was taken. Membership is a
+// stamp comparison per visited node — no map probe, no allocation.
 func (nw *Network) specDisturbed(visited []graph.NodeID) bool {
-	if len(nw.specTouched) == 0 {
+	if nw.st.specSize() == 0 {
 		return false
 	}
 	for _, u := range visited {
-		if _, ok := nw.specTouched[u]; ok {
+		if nw.st.specHas(u) {
 			return true
 		}
 	}
@@ -286,8 +282,7 @@ func (nw *Network) walkRetryTail(start, exclude, reporter NodeID, stop func(Node
 // precomputed by the caller; it cannot change mid-round because donors
 // are never contenders (newCount >= 2 vs == 0).
 func (nw *Network) retryContendersParallel(eligible []NodeID) (still []NodeID) {
-	defer func() { nw.specTouched = nil }()
-	s := nw.stag
+	defer nw.st.disarmSpec()
 	idx := 0
 	for idx < len(eligible) {
 		window := len(eligible) - idx
@@ -313,7 +308,7 @@ func (nw *Network) retryContendersParallel(eligible []NodeID) (still []NodeID) {
 				Exclude: -1,
 				MaxLen:  maxLen,
 				Seed:    seeds[j],
-				Stop:    contendStop(s, u),
+				Stop:    nw.contendStop(u),
 			}
 		}
 		nw.runSpecWindow(specs, outs)
@@ -327,9 +322,9 @@ func (nw *Network) retryContendersParallel(eligible []NodeID) (still []NodeID) {
 				res:       outs[j].Res,
 				disturbed: nw.specDisturbed(outs[j].Visited),
 			}
-			res := nw.firstAttempt(sp, u, -1, contendStop(s, u))
+			res := nw.firstAttempt(sp, u, -1, nw.contendStop(u))
 			if res.Hit {
-				s.moveNewVertex(nw, s.lastNewOf(res.End), u)
+				nw.moveNewVertex(nw.st.newMax(res.End), u)
 			} else {
 				nw.step.WalkRetries++
 				still = append(still, u)

@@ -8,8 +8,10 @@ import (
 )
 
 // equalEngineState fails the test unless the two networks are in
-// byte-identical externally observable states: mapping, loads, overlay
-// edges, modulus, and per-step metrics history.
+// byte-identical externally observable states: mapping, loads, vertex
+// sets, overlay edges, modulus, and per-step metrics history. It is
+// backend-agnostic (the snapshots materialize either store), so the
+// serial/parallel and dense/oracle gates share it.
 func equalEngineState(t *testing.T, tag string, a, b *Network) {
 	t.Helper()
 	if a.P() != b.P() || a.Size() != b.Size() {
@@ -18,8 +20,11 @@ func equalEngineState(t *testing.T, tag string, a, b *Network) {
 	if !reflect.DeepEqual(a.simOf, b.simOf) {
 		t.Fatalf("%s: virtual mapping diverged", tag)
 	}
-	if !reflect.DeepEqual(a.load, b.load) {
+	if !reflect.DeepEqual(a.st.loadSnapshot(), b.st.loadSnapshot()) {
 		t.Fatalf("%s: load tables diverged", tag)
+	}
+	if !reflect.DeepEqual(a.st.simSnapshot(), b.st.simSnapshot()) {
+		t.Fatalf("%s: vertex sets diverged", tag)
 	}
 	if !reflect.DeepEqual(a.real.Edges(), b.real.Edges()) {
 		t.Fatalf("%s: overlay edge multisets diverged", tag)

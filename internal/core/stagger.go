@@ -30,6 +30,11 @@ import (
 // complete p-cycle, which lower-bounds the edge expansion and hence keeps
 // the spectral gap constant (Lemma 9(b), via Cheeger both ways).
 //
+// Per-node rebuild state (NewSim sets, effNew, unprocOld) lives in the
+// engine's slot-indexed store next to the steady-state columns (see
+// store.go); this struct keeps only the schedule — frontier, flags,
+// pending intermediate edges, and the contender queue.
+//
 // Deviation (documented in README.md): the paper creates intermediate edges for
 // all three slots of a new vertex; we create each undirected new edge
 // exactly once, owned canonically (a vertex owns its successor edge, and
@@ -59,7 +64,7 @@ type pendEdge struct {
 	src, dst Vertex
 }
 
-// stagger holds the in-flight rebuild state.
+// stagger holds the in-flight rebuild schedule.
 type stagger struct {
 	dir  stagDirection
 	inf  pcycle.Inflation
@@ -74,10 +79,6 @@ type stagger struct {
 	droppedFlag   []bool
 
 	newSimOf []NodeID // Phi' (-1 = not generated yet)
-	newSim   map[NodeID]map[Vertex]struct{}
-
-	effNew    map[NodeID]int // generated + projected new vertices per node
-	unprocOld map[NodeID]int // old vertices not yet processed per node
 
 	pending map[Vertex][]pendEdge // keyed by the generating old vertex
 
@@ -106,55 +107,20 @@ func (s *stagger) ownerOld(t Vertex) Vertex {
 	return s.def.DominatorOf(t)
 }
 
-func (s *stagger) newCount(u NodeID) int { return len(s.newSim[u]) }
-
-// newVerticesOf lists u's new-cycle vertices in ascending order.
-func (s *stagger) newVerticesOf(u NodeID) []Vertex {
-	out := make([]Vertex, 0, len(s.newSim[u]))
-	for y := range s.newSim[u] {
-		out = append(out, y)
-	}
-	sortVertices(out)
-	return out
-}
-
-func (s *stagger) anyNewVertexOf(u NodeID) (Vertex, bool) {
-	best := Vertex(-1)
-	for y := range s.newSim[u] {
-		if best < 0 || y < best {
-			best = y
-		}
-	}
-	return best, best >= 0
-}
-
-func (s *stagger) lastNewOf(u NodeID) Vertex {
-	best := Vertex(-1)
-	for y := range s.newSim[u] {
-		if y > best {
-			best = y
-		}
-	}
-	if best < 0 {
-		panic("core: node has no new vertex to donate")
-	}
-	return best
-}
-
 // --- starting a staggered rebuild -------------------------------------------
 
 // startStagger initializes the rebuild state (it does not process any
 // batch yet; advanceStagger does one batch per step). Returns false if
-// the virtual graph is too small to deflate.
+// the virtual graph is too small to rebuild in the given direction —
+// including a deflation whose admissible primes all sit below the node
+// count (see deflationFor), which the seed implementation started
+// anyway and then crashed resolving.
 func (nw *Network) startStagger(dir stagDirection) bool {
 	pOld := nw.z.P()
 	s := &stagger{
-		dir:       dir,
-		phase:     1,
-		newSim:    make(map[NodeID]map[Vertex]struct{}, nw.Size()),
-		effNew:    make(map[NodeID]int, nw.Size()),
-		unprocOld: make(map[NodeID]int, nw.Size()),
-		pending:   make(map[Vertex][]pendEdge),
+		dir:     dir,
+		phase:   1,
+		pending: make(map[Vertex][]pendEdge),
 	}
 	var pNew int64
 	switch dir {
@@ -166,9 +132,9 @@ func (nw *Network) startStagger(dir stagDirection) bool {
 		s.inf = inf
 		pNew = inf.PNew
 	case deflateDir:
-		def, err := pcycle.NewDeflation(pOld)
-		if err != nil {
-			return false // network too small to deflate; loads stay bounded by n
+		def, ok := nw.deflationFor(true)
+		if !ok {
+			return false // no admissible smaller cycle yet; try again as n shrinks
 		}
 		s.def = def
 		pNew = def.PNew
@@ -193,13 +159,15 @@ func (nw *Network) startStagger(dir stagDirection) bool {
 	}
 	s.batch = (pOld + steps - 1) / steps
 	nw.specEpoch++ // predicate shape changes with the rebuild state
-	for u, set := range nw.sim {
-		s.unprocOld[u] = len(set)
+	nw.st.stagReset()
+	for _, u := range nw.st.nodeList {
+		nw.st.addUnprocOld(u, nw.st.simLen(u))
 		proj := 0
-		for x := range set {
+		nw.st.simForEach(u, func(x Vertex) bool {
 			proj += s.projection(x)
-		}
-		s.effNew[u] = proj
+			return true
+		})
+		nw.st.addEffNew(u, proj)
 	}
 	nw.stag = s
 	// Coordinator locally computes the new prime and notifies the first
@@ -272,14 +240,14 @@ func (nw *Network) processOldVertex(x Vertex) {
 	}
 	u := nw.simOf[x]
 	s.processedFlag[x] = true
-	s.unprocOld[u]--
+	nw.st.addUnprocOld(u, -1)
 	nw.markDirty(u) // bookkeeping changed even when x generates nothing
 
 	if s.dir == inflateDir {
 		cloud := s.inf.Cloud(x)
-		s.effNew[u] -= len(cloud) // projection becomes actual below
+		nw.st.addEffNew(u, -len(cloud)) // projection becomes actual below
 		for _, y := range cloud {
-			s.assignNew(nw, y, u)
+			nw.assignNew(y, u)
 		}
 		nw.resolvePending(x)
 		for _, y := range cloud {
@@ -293,26 +261,21 @@ func (nw *Network) processOldVertex(x Vertex) {
 	// deflation cloud.
 	y := s.def.NewVertexOf(x)
 	if s.def.DominatorOf(y) == x {
-		s.effNew[u]--
-		s.assignNew(nw, y, u)
+		nw.st.addEffNew(u, -1)
+		nw.assignNew(y, u)
 		nw.resolvePending(x)
 		nw.createNewEdges(y)
 	}
-	if s.unprocOld[u] == 0 && s.newCount(u) == 0 {
+	if nw.st.unprocOldOf(u) == 0 && nw.st.newLen(u) == 0 {
 		s.contenders = append(s.contenders, u)
 	}
 }
 
 // assignNew places new vertex y at node u (no edges yet).
-func (s *stagger) assignNew(nw *Network, y Vertex, u NodeID) {
-	s.newSimOf[y] = u
-	set := s.newSim[u]
-	if set == nil {
-		set = make(map[Vertex]struct{})
-		s.newSim[u] = set
-	}
-	set[y] = struct{}{}
-	s.effNew[u]++
+func (nw *Network) assignNew(y Vertex, u NodeID) {
+	nw.stag.newSimOf[y] = u
+	nw.st.newAdd(u, y)
+	nw.st.addEffNew(u, 1)
 	nw.bumpLoad(u, 1)
 }
 
@@ -372,16 +335,16 @@ func (nw *Network) linkNewEdge(y, t Vertex, owner NodeID, isCycleEdge bool) {
 // new load exceeds 4*zeta (Alg 4.8 line 6): sequential random walks on
 // the live overlay to nodes with effective new load < 4*zeta.
 func (nw *Network) shedNewOverflow(u NodeID) {
-	s := nw.stag
+	st := &nw.st
 	zeta4 := 4 * nw.cfg.Zeta
-	for s.effNew[u] > zeta4 && s.newCount(u) > 1 {
+	for st.effNewOf(u) > zeta4 && st.newLen(u) > 1 {
 		placed := false
 		for attempt := 0; attempt < nw.cfg.WalkRetryLimit; attempt++ {
 			res := nw.runWalk(u, -1, func(w NodeID) bool {
-				return w != u && s.effNew[w] < zeta4
+				return w != u && st.effNewOf(w) < zeta4
 			})
 			if res.Hit {
-				s.moveNewVertex(nw, s.lastNewOf(u), res.End)
+				nw.moveNewVertex(st.newMax(u), res.End)
 				placed = true
 				break
 			}
@@ -408,10 +371,10 @@ func (nw *Network) retryContenders(force bool) {
 	}
 	eligible := s.contenders[:0]
 	for _, u := range s.contenders {
-		if _, alive := nw.sim[u]; !alive && s.newCount(u) == 0 {
+		if !nw.st.has(u) && nw.st.newLen(u) == 0 {
 			continue // node deleted while waiting
 		}
-		if s.newCount(u) > 0 {
+		if nw.st.newLen(u) > 0 {
 			continue // received a vertex meanwhile
 		}
 		eligible = append(eligible, u)
@@ -436,15 +399,17 @@ func (nw *Network) retryContenders(force bool) {
 // contendStop is the contender donor predicate: donors must keep one
 // vertex (the paper's "taken" reservation), hence newCount >= 2. Shared
 // by the serial walk and the parallel speculation so the two paths can
-// never drift.
-func contendStop(s *stagger, u NodeID) func(NodeID) bool {
-	return func(w NodeID) bool { return w != u && s.newCount(w) >= 2 }
+// never drift. It reads only the store's dense new-count column (or
+// the oracle's map), so pool workers evaluate it without touching any
+// shared engine map.
+func (nw *Network) contendStop(u NodeID) func(NodeID) bool {
+	st := &nw.st
+	return func(w NodeID) bool { return w != u && st.newLen(w) >= 2 }
 }
 
 // contendWalk tries to fetch a spare new vertex for u.
 func (nw *Network) contendWalk(u NodeID, force bool) bool {
-	s := nw.stag
-	stop := contendStop(s, u)
+	stop := nw.contendStop(u)
 	attempts := 1
 	if force {
 		attempts = nw.cfg.WalkRetryLimit
@@ -452,7 +417,7 @@ func (nw *Network) contendWalk(u NodeID, force bool) bool {
 	for i := 0; i < attempts; i++ {
 		res := nw.runWalk(u, -1, stop)
 		if res.Hit {
-			s.moveNewVertex(nw, s.lastNewOf(res.End), u)
+			nw.moveNewVertex(nw.st.newMax(res.End), u)
 			return true
 		}
 		nw.step.WalkRetries++
@@ -462,8 +427,8 @@ func (nw *Network) contendWalk(u NodeID, force bool) bool {
 	}
 	nw.walkExhaustion++
 	for _, w := range nw.real.Nodes() {
-		if w != u && s.newCount(w) >= 2 {
-			s.moveNewVertex(nw, s.lastNewOf(w), u)
+		if w != u && nw.st.newLen(w) >= 2 {
+			nw.moveNewVertex(nw.st.newMax(w), u)
 			return true
 		}
 	}
@@ -474,7 +439,8 @@ func (nw *Network) contendWalk(u NodeID, force bool) bool {
 // its existing real edges: direct edges where both endpoints are
 // generated, intermediate edges where y is the canonical owner and the
 // target is not yet generated.
-func (s *stagger) moveNewVertex(nw *Network, y Vertex, to NodeID) {
+func (nw *Network) moveNewVertex(y Vertex, to NodeID) {
+	s := nw.stag
 	from := s.newSimOf[y]
 	if from == to {
 		return
@@ -510,17 +476,12 @@ func (s *stagger) moveNewVertex(nw *Network, y Vertex, to NodeID) {
 		}
 	}
 	apply(from, false)
-	delete(s.newSim[from], y)
-	s.effNew[from]--
+	nw.st.newRemove(from, y)
+	nw.st.addEffNew(from, -1)
 	nw.bumpLoad(from, -1)
 	s.newSimOf[y] = to
-	set := s.newSim[to]
-	if set == nil {
-		set = make(map[Vertex]struct{})
-		s.newSim[to] = set
-	}
-	set[y] = struct{}{}
-	s.effNew[to]++
+	nw.st.newAdd(to, y)
+	nw.st.addEffNew(to, 1)
 	nw.bumpLoad(to, 1)
 	apply(to, true)
 }
@@ -535,7 +496,7 @@ func (nw *Network) dropOldVertex(x Vertex) {
 		return
 	}
 	u := nw.simOf[x]
-	if nw.load[u] == 1 {
+	if nw.st.loadOf(u) == 1 {
 		nw.orphanRescue(u)
 	}
 	s.droppedFlag[x] = true
@@ -546,7 +507,7 @@ func (nw *Network) dropOldVertex(x Vertex) {
 			nw.removeRealEdge(u, nw.simOf[t])
 		}
 	}
-	delete(nw.sim[u], x)
+	nw.st.simRemove(u, x)
 	nw.bumpLoad(u, -1)
 }
 
@@ -568,8 +529,8 @@ func (nw *Network) commitStagger() {
 	// rebuild). Re-home such nodes from donors before the old cycle
 	// disappears so the mapping stays surjective (found by FuzzChurnTrace).
 	var unassigned []NodeID
-	for u := range nw.sim {
-		if len(nw.sim[u]) == 0 && s.newCount(u) == 0 {
+	for _, u := range nw.st.nodeList {
+		if nw.st.simLen(u) == 0 && nw.st.newLen(u) == 0 {
 			unassigned = append(unassigned, u)
 		}
 	}
@@ -579,21 +540,20 @@ func (nw *Network) commitStagger() {
 			nw.orphanRescue(u)
 		}
 	}
-	for u := range nw.sim {
-		if len(nw.sim[u]) != 0 {
+	for _, u := range nw.st.nodeList {
+		if nw.st.simLen(u) != 0 {
 			panic(fmt.Sprintf("core: node %d still holds old vertices at commit", u))
 		}
-		if s.newCount(u) == 0 {
+		if nw.st.newLen(u) == 0 {
 			panic(fmt.Sprintf("core: node %d has no new vertices at commit", u))
 		}
 	}
 	nw.z = s.zNew
 	nw.simOf = s.newSimOf
-	newSim := make(map[NodeID]map[Vertex]struct{}, len(nw.sim))
-	for u := range nw.sim {
-		newSim[u] = s.newSim[u]
+	for _, u := range nw.st.nodeList {
+		nw.st.promoteNew(u)
 	}
-	nw.sim = newSim
+	nw.st.stagDone()
 	nw.refreshDist0()
 	nw.stag = nil
 	nw.specEpoch++
@@ -606,18 +566,21 @@ func (nw *Network) commitStagger() {
 // --- type-1 predicates and donations while staggering ------------------------
 
 // insertStop is the donor predicate for insertions during a rebuild.
+// Like every walk predicate it reads only slot-indexed columns.
 func (s *stagger) insertStop(nw *Network, id NodeID) func(NodeID) bool {
+	st := &nw.st
+	phase2 := s.phase == 2
 	return func(w NodeID) bool {
 		if w == id {
 			return false
 		}
-		if s.phase == 2 {
-			return s.newCount(w) >= 2
+		if phase2 {
+			return st.newLen(w) >= 2
 		}
-		if s.newCount(w) >= 2 {
+		if st.newLen(w) >= 2 {
 			return true
 		}
-		return nw.load[w] >= 2 && s.unprocOld[w] >= 1
+		return st.loadOf(w) >= 2 && st.unprocOldOf(w) >= 1
 	}
 }
 
@@ -625,18 +588,19 @@ func (s *stagger) insertStop(nw *Network, id NodeID) func(NodeID) bool {
 // preferring newly generated vertices (Section 4.4.1: "we can simply
 // assign one of the newly inflated vertices").
 func (s *stagger) donate(nw *Network, donor, id NodeID) {
-	if s.newCount(donor) >= 2 {
-		s.moveNewVertex(nw, s.lastNewOf(donor), id)
+	if nw.st.newLen(donor) >= 2 {
+		nw.moveNewVertex(nw.st.newMax(donor), id)
 		return
 	}
 	// Unprocessed old vertex: the recipient will generate its cloud when
 	// the frontier reaches it.
 	var best Vertex = -1
-	for x := range nw.sim[donor] {
+	nw.st.simForEach(donor, func(x Vertex) bool {
 		if !s.processedFlag[x] && x > best {
 			best = x
 		}
-	}
+		return true
+	})
 	if best < 0 {
 		panic("core: staggered donor has nothing to give")
 	}

@@ -12,10 +12,10 @@ import (
 // finds a spare virtual vertex via random walks (type-1) or rebuilds the
 // virtual graph (type-2) and assigns the new node at least one vertex.
 func (nw *Network) Insert(id, attach NodeID) error {
-	if _, dup := nw.sim[id]; dup || nw.real.HasNode(id) {
+	if nw.st.has(id) || nw.real.HasNode(id) {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
 	}
-	if _, ok := nw.sim[attach]; !ok {
+	if !nw.st.has(attach) {
 		return fmt.Errorf("%w: attach point %d", ErrUnknownNode, attach)
 	}
 	nw.beginStep(OpInsert, id)
@@ -67,7 +67,7 @@ func (nw *Network) recoverInsert(id, attach NodeID) {
 		}
 		// Simplified mode: flood computeSpare (Alg 4.4), then decide.
 		agg := congest.FloodAggregate(nw.real, attach, func(u graph.NodeID) int64 {
-			if u != id && nw.load[u] >= 2 {
+			if u != id && nw.st.loadOf(u) >= 2 {
 				return 1
 			}
 			return 0
@@ -89,12 +89,16 @@ func (nw *Network) recoverInsert(id, attach NodeID) {
 }
 
 // insertStop returns the walk stop predicate for finding a donor for a
-// newly inserted node.
+// newly inserted node. Predicates read only slot-indexed columns, so
+// the parallel walk pool evaluates them without touching a shared map;
+// the steady-state predicate is prebuilt (no per-op closure), with the
+// excluded newborn flowing through nw.stopExclude.
 func (nw *Network) insertStop(id NodeID) func(NodeID) bool {
 	if nw.stag != nil {
 		return nw.stag.insertStop(nw, id)
 	}
-	return func(u NodeID) bool { return u != id && nw.load[u] >= 2 }
+	nw.stopExclude = id
+	return nw.steadyInsertStop
 }
 
 // donateVertexTo moves one virtual vertex from donor to the new node id.
@@ -105,12 +109,7 @@ func (nw *Network) donateVertexTo(donor, id NodeID) {
 		nw.stag.donate(nw, donor, id)
 		return
 	}
-	var best Vertex = -1
-	for x := range nw.sim[donor] {
-		if x > best {
-			best = x
-		}
-	}
+	best := nw.st.simMax(donor)
 	if best < 0 {
 		panic("core: donor has no vertex")
 	}
@@ -121,7 +120,7 @@ func (nw *Network) donateVertexTo(donor, id NodeID) {
 // a surviving neighbor v adopts its virtual vertices and then
 // redistributes them via random walks to nodes in Low.
 func (nw *Network) Delete(id NodeID) error {
-	if _, ok := nw.sim[id]; !ok {
+	if !nw.st.has(id) {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
 	if nw.Size() <= 4 {
@@ -141,10 +140,8 @@ func (nw *Network) Delete(id NodeID) error {
 	if nw.real.Degree(id) != 0 {
 		panic("core: deleted node still has edges after adoption")
 	}
-	nw.real.RemoveNode(id)
-	delete(nw.sim, id)
-	nw.removeNodeEntry(id)
 	nw.dropLoadEntry(id)
+	nw.st.removeNode(id)
 	if coordLost {
 		// Neighbors transfer the replicated coordinator state to the new
 		// simulator of vertex 0 (Alg 4.7 line 2): O(1) messages.
@@ -183,28 +180,30 @@ type holding struct {
 	isNew bool
 }
 
-// vertexHoldings lists everything id simulates, deterministically.
+// vertexHoldings lists everything id simulates, deterministically
+// (ascending per cycle; the store hands both runs back sorted). The
+// returned slice aliases a per-network scratch buffer — it is valid
+// until the next vertexHoldings call, which the strictly sequential
+// delete/redistribute flow guarantees is after its last use.
 func (nw *Network) vertexHoldings(id NodeID) []holding {
-	var hs []holding
-	var cur []Vertex
-	for x := range nw.sim[id] {
-		cur = append(cur, x)
-	}
-	sortVertices(cur)
-	for _, x := range cur {
+	hs := nw.holdScratch[:0]
+	nw.vertScratch = nw.st.simAppend(id, nw.vertScratch[:0])
+	for _, x := range nw.vertScratch {
 		hs = append(hs, holding{x: x})
 	}
 	if nw.stag != nil {
-		for _, y := range nw.stag.newVerticesOf(id) {
+		nw.vertScratch = nw.st.newAppend(id, nw.vertScratch[:0])
+		for _, y := range nw.vertScratch {
 			hs = append(hs, holding{x: y, isNew: true})
 		}
 	}
+	nw.holdScratch = hs
 	return hs
 }
 
 func (nw *Network) moveHolding(h holding, to NodeID) {
 	if h.isNew {
-		nw.stag.moveNewVertex(nw, h.x, to)
+		nw.moveNewVertex(h.x, to)
 	} else {
 		nw.moveVertex(h.x, to)
 	}
@@ -263,7 +262,7 @@ func (nw *Network) redistributeOne(v NodeID, h holding) bool {
 			continue
 		}
 		agg := congest.FloodAggregate(nw.real, v, func(u graph.NodeID) int64 {
-			if nw.load[u] <= 2*nw.cfg.Zeta {
+			if nw.st.loadOf(u) <= 2*nw.cfg.Zeta {
 				return 1
 			}
 			return 0
@@ -272,11 +271,15 @@ func (nw *Network) redistributeOne(v NodeID, h holding) bool {
 		nw.step.Messages += agg.Messages
 		nw.step.Floods++
 		if float64(agg.Sum) < nw.cfg.Theta*float64(nw.Size()) {
-			// simplifiedDefl rebuilds the whole mapping; the remaining
-			// orphans are re-homed by the rebuild itself.
-			nw.simplifiedDeflate(v)
-			nw.step.Recovery = RecoveryDeflate
-			return true
+			if _, ok := nw.deflationFor(false); ok {
+				// simplifiedDeflate rebuilds the whole mapping; the
+				// remaining orphans are re-homed by the rebuild itself.
+				nw.simplifiedDeflate(v)
+				nw.step.Recovery = RecoveryDeflate
+				return true
+			}
+			// No admissible smaller cycle (pNew would undercut n): keep
+			// walking; leaving the vertex at v is safe if all retries miss.
 		}
 	}
 	if !placed {
@@ -293,17 +296,18 @@ func (nw *Network) redistributeOne(v NodeID, h holding) bool {
 // state (Lemma 3(a)), within the 8*zeta union envelope during a rebuild,
 // and - crucially - new-cycle holdings only land where the *new* count
 // stays below 4*zeta, so the bound holds again the moment the rebuild
-// commits (Lemma 9(a) -> Lemma 3(a) handover).
+// commits (Lemma 9(a) -> Lemma 3(a) handover). Every variant reads only
+// slot-indexed columns (loads, new counts, effNew).
 func (nw *Network) holdingStop(h holding) func(NodeID) bool {
 	zeta := nw.cfg.Zeta
+	st := &nw.st
 	s := nw.stag
 	if s == nil {
-		lowT := 2 * zeta
-		return func(u NodeID) bool { return nw.load[u] <= lowT }
+		return nw.steadyLowStop // prebuilt: load(u) <= 2*zeta
 	}
 	if h.isNew {
 		return func(u NodeID) bool {
-			return s.newCount(u) < 4*zeta && nw.load[u] < 8*zeta-1
+			return st.newLen(u) < 4*zeta && st.loadOf(u) < 8*zeta-1
 		}
 	}
 	if s.dir == inflateDir {
@@ -312,15 +316,15 @@ func (nw *Network) holdingStop(h holding) func(NodeID) bool {
 			// inflation; the standard threshold applies and the cloud
 			// overflow is shed when the vertex is processed.
 			lowT := 2 * zeta
-			return func(u NodeID) bool { return nw.load[u] <= lowT }
+			return func(u NodeID) bool { return st.loadOf(u) <= lowT }
 		}
 		// Inflate phase 2: the old vertex is about to be dropped anyway.
-		return func(u NodeID) bool { return nw.load[u] <= 6*zeta }
+		return func(u NodeID) bool { return st.loadOf(u) <= 6*zeta }
 	}
 	// Deflation: an old vertex may carry a dominator, so also require
 	// headroom in the projected new load.
 	return func(u NodeID) bool {
-		return nw.load[u] <= 6*zeta && s.effNew[u] < 4*zeta
+		return st.loadOf(u) <= 6*zeta && st.effNewOf(u) < 4*zeta
 	}
 }
 

@@ -113,7 +113,7 @@ func (nw *Network) simplifiedInflate(initiator, newborn NodeID) {
 		owner: make([]NodeID, inf.PNew),
 		verts: make(map[NodeID][]Vertex, nw.Size()),
 	}
-	for u := range nw.sim {
+	for _, u := range nw.st.nodeList {
 		pv.verts[u] = nil
 	}
 	pOld := nw.z.P()
@@ -142,7 +142,8 @@ func (nw *Network) simplifiedInflate(initiator, newborn NodeID) {
 }
 
 // simplifiedDeflate implements Algorithm 4.6; initiator floods the
-// request.
+// request. Callers must have checked deflationFor(false) — a deflation
+// whose pNew undercuts the node count cannot re-home every node.
 func (nw *Network) simplifiedDeflate(initiator NodeID) {
 	if nw.stag != nil {
 		nw.finishStaggerNow()
@@ -152,9 +153,9 @@ func (nw *Network) simplifiedDeflate(initiator NodeID) {
 	nw.step.Messages += m
 	nw.step.Floods++
 
-	def, err := pcycle.NewDeflation(nw.z.P())
-	if err != nil {
-		panic(fmt.Sprintf("core: deflation: %v", err))
+	def, ok := nw.deflationFor(false)
+	if !ok {
+		panic(fmt.Sprintf("core: deflation from p=%d infeasible at n=%d", nw.z.P(), nw.Size()))
 	}
 	zNew, err := pcycle.New(def.PNew)
 	if err != nil {
@@ -165,7 +166,7 @@ func (nw *Network) simplifiedDeflate(initiator NodeID) {
 		owner: make([]NodeID, def.PNew),
 		verts: make(map[NodeID][]Vertex, nw.Size()),
 	}
-	for u := range nw.sim {
+	for _, u := range nw.st.nodeList {
 		pv.verts[u] = nil
 	}
 	for y := int64(0); y < def.PNew; y++ {
@@ -176,7 +177,7 @@ func (nw *Network) simplifiedDeflate(initiator NodeID) {
 	// walks Z(p_s) for a non-taken vertex; owners keep one reserved
 	// vertex each (their first), so donors need >= 2 vertices.
 	var contenders []NodeID
-	for u := range nw.sim {
+	for _, u := range nw.st.nodeList {
 		if len(pv.verts[u]) == 0 {
 			contenders = append(contenders, u)
 		}
@@ -223,12 +224,7 @@ func (nw *Network) simplifiedDeflate(initiator NodeID) {
 // contenderStart picks the new-cycle vertex that absorbed one of u's old
 // vertices, the natural walk origin for a contending node.
 func (nw *Network) contenderStart(def pcycle.Deflation, u NodeID) Vertex {
-	best := Vertex(-1)
-	for x := range nw.sim[u] {
-		if best < 0 || x < best {
-			best = x
-		}
-	}
+	best := nw.st.simMin(u)
 	if best < 0 {
 		return 0
 	}
@@ -327,20 +323,12 @@ func (nw *Network) commitRebuild(pv *provisional) {
 	nw.z = pv.zNew
 	p := pv.zNew.P()
 	nw.simOf = pv.owner
-	newSim := make(map[NodeID]map[Vertex]struct{}, len(pv.verts))
 	for u, vs := range pv.verts {
 		if len(vs) == 0 {
 			panic(fmt.Sprintf("core: rebuild left node %d without vertices", u))
 		}
-		set := make(map[Vertex]struct{}, len(vs))
-		for _, y := range vs {
-			set[y] = struct{}{}
-		}
-		newSim[u] = set
-	}
-	nw.sim = newSim
-	for u, set := range newSim {
-		nw.setLoad(u, len(set), false)
+		nw.st.simReset(u, vs)
+		nw.setLoad(u, len(vs), false)
 	}
 	// Apply the new contraction as an in-place diff: only node pairs whose
 	// multiplicity actually changed are touched, the graph pointer stays

@@ -76,6 +76,14 @@ type Graph struct {
 	freeCells int              // total cells parked on the free lists
 	edges     int              // number of edges (loops count once)
 	epoch     uint64           // logical version: bumped by every effective mutation
+
+	// Slot lifecycle hooks (SetSlotHooks): onSlotAssign fires right after
+	// a slot is bound to a node, onSlotRelease right after a node's slot
+	// is freed. They let a caller layer slot-indexed columnar state on
+	// the graph's own slot table (the DEX engine's per-node store does).
+	// Clone/Snapshot never copy them — a copy belongs to someone else.
+	onSlotAssign  func(u NodeID, slot int32)
+	onSlotRelease func(u NodeID, slot int32)
 }
 
 // New returns an empty graph.
@@ -145,6 +153,47 @@ func (g *Graph) Epoch() uint64 { return g.epoch }
 // hold whatever lock excludes mutators, then read it lock-free forever.
 func (g *Graph) Snapshot() (*Graph, uint64) { return g.Clone(), g.epoch }
 
+// SlotOf returns u's dense slot index and whether u is present. A slot
+// is stable for as long as its node exists: no mutation of other nodes,
+// arena growth, or compaction ever moves it. After RemoveNode the slot
+// is recycled and may be handed to a different node later, so callers
+// holding slots across deletions must revalidate with NodeAt.
+func (g *Graph) SlotOf(u NodeID) (int32, bool) {
+	s, ok := g.index[u]
+	return s, ok
+}
+
+// NodeAt returns the node currently occupying slot s, if any. Freed
+// slots (and out-of-range indexes) report ok=false.
+func (g *Graph) NodeAt(s int32) (NodeID, bool) {
+	if s < 0 || int(s) >= len(g.ids) {
+		return 0, false
+	}
+	u := g.ids[s]
+	if live, ok := g.index[u]; ok && live == s {
+		return u, true
+	}
+	return 0, false
+}
+
+// Slots returns the size of the slot table: every valid slot index is
+// < Slots(). The table counts freed slots awaiting reuse, so Slots()
+// can exceed NumNodes but never shrinks while nodes churn.
+func (g *Graph) Slots() int { return len(g.ids) }
+
+// SetSlotHooks registers slot lifecycle callbacks (nil to clear):
+// assign fires immediately after a slot is bound to a node (AddNode, or
+// an edge mutation creating an endpoint), release fires immediately
+// after a node's slot is freed by RemoveNode (its edges are already
+// gone). Callers use them to keep slot-indexed side tables — per-node
+// engine state living in dense columns — in lockstep with the graph's
+// own slot table. Hooks must not mutate the graph; they survive for the
+// graph's lifetime and are deliberately not copied by Clone/Snapshot.
+func (g *Graph) SetSlotHooks(assign, release func(u NodeID, slot int32)) {
+	g.onSlotAssign = assign
+	g.onSlotRelease = release
+}
+
 // slotOf returns u's dense slot, creating it if needed.
 func (g *Graph) slotOf(u NodeID) int32 {
 	if s, ok := g.index[u]; ok {
@@ -162,6 +211,9 @@ func (g *Graph) slotOf(u NodeID) int32 {
 		g.recs = append(g.recs, nodeRec{})
 	}
 	g.index[u] = s
+	if g.onSlotAssign != nil {
+		g.onSlotAssign(u, s)
+	}
 	return s
 }
 
@@ -467,6 +519,9 @@ func (g *Graph) RemoveNode(u NodeID) {
 	*r = nodeRec{}
 	g.freeSlots = append(g.freeSlots, su)
 	delete(g.index, u)
+	if g.onSlotRelease != nil {
+		g.onSlotRelease(u, su)
+	}
 }
 
 // Multiplicity returns the number of parallel {u,v} edges.

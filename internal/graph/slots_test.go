@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSlotMappingRoundTrip: SlotOf/NodeAt are inverse on live nodes and
+// NodeAt rejects freed slots, including across slot reuse.
+func TestSlotMappingRoundTrip(t *testing.T) {
+	g := New()
+	for i := 0; i < 32; i++ {
+		g.AddNode(NodeID(i))
+	}
+	for i := 0; i < 32; i++ {
+		s, ok := g.SlotOf(NodeID(i))
+		if !ok {
+			t.Fatalf("node %d has no slot", i)
+		}
+		if u, ok := g.NodeAt(s); !ok || u != NodeID(i) {
+			t.Fatalf("NodeAt(%d) = %d,%v, want %d", s, u, ok, i)
+		}
+	}
+	s7, _ := g.SlotOf(7)
+	g.RemoveNode(7)
+	if _, ok := g.SlotOf(7); ok {
+		t.Fatal("removed node still has a slot")
+	}
+	if _, ok := g.NodeAt(s7); ok {
+		t.Fatal("freed slot still reports a node")
+	}
+	// Reuse: the next added node takes the freed slot; NodeAt must track.
+	g.AddNode(100)
+	s100, _ := g.SlotOf(100)
+	if s100 != s7 {
+		t.Fatalf("freed slot %d not recycled (new node got %d)", s7, s100)
+	}
+	if u, ok := g.NodeAt(s100); !ok || u != 100 {
+		t.Fatalf("NodeAt(%d) = %d,%v after reuse, want 100", s100, u, ok)
+	}
+	if _, ok := g.NodeAt(-1); ok {
+		t.Fatal("negative slot accepted")
+	}
+	if _, ok := g.NodeAt(int32(g.Slots())); ok {
+		t.Fatal("out-of-range slot accepted")
+	}
+}
+
+// TestSlotHooksFireInLockstep drives random churn and checks the hooks
+// maintain an exact mirror of the slot table, covering assignment via
+// AddNode, implicit assignment via AddEdge, release via RemoveNode, and
+// slot reuse.
+func TestSlotHooksFireInLockstep(t *testing.T) {
+	g := New()
+	mirror := map[int32]NodeID{}
+	g.SetSlotHooks(
+		func(u NodeID, s int32) {
+			if old, ok := mirror[s]; ok {
+				t.Fatalf("slot %d assigned to %d while %d still holds it", s, u, old)
+			}
+			mirror[s] = u
+		},
+		func(u NodeID, s int32) {
+			if mirror[s] != u {
+				t.Fatalf("slot %d released by %d, mirror says %d", s, u, mirror[s])
+			}
+			delete(mirror, s)
+		},
+	)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 4000; i++ {
+		u, v := NodeID(rng.Intn(64)), NodeID(rng.Intn(64))
+		switch rng.Intn(4) {
+		case 0:
+			g.AddNode(u)
+		case 1, 2:
+			g.AddEdge(u, v)
+		case 3:
+			g.RemoveNode(u)
+		}
+		if len(mirror) != g.NumNodes() {
+			t.Fatalf("op %d: mirror has %d slots, graph %d nodes", i, len(mirror), g.NumNodes())
+		}
+	}
+	for s, u := range mirror {
+		got, ok := g.NodeAt(s)
+		if !ok || got != u {
+			t.Fatalf("mirror slot %d = %d, graph says %d,%v", s, u, got, ok)
+		}
+		if sl, ok := g.SlotOf(u); !ok || sl != s {
+			t.Fatalf("SlotOf(%d) = %d,%v, mirror says %d", u, sl, ok, s)
+		}
+	}
+}
+
+// TestCloneDropsSlotHooks: mutating a clone (or a Snapshot copy) must
+// not fire the original's hooks — the copy belongs to someone else.
+func TestCloneDropsSlotHooks(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	fired := 0
+	g.SetSlotHooks(
+		func(NodeID, int32) { fired++ },
+		func(NodeID, int32) { fired++ },
+	)
+	c := g.Clone()
+	c.AddNode(9)
+	c.RemoveNode(1)
+	snap, _ := g.Snapshot()
+	snap.AddNode(10)
+	if fired != 0 {
+		t.Fatalf("clone mutations fired %d hook calls on the original", fired)
+	}
+	g.AddNode(3)
+	if fired != 1 {
+		t.Fatalf("original AddNode fired %d hook calls, want 1", fired)
+	}
+}

@@ -263,13 +263,28 @@ type Deflation struct {
 }
 
 // NewDeflation picks pNew for pOld per the paper's interval.
-func NewDeflation(pOld int64) (Deflation, error) {
+func NewDeflation(pOld int64) (Deflation, error) { return NewDeflationFloor(pOld, 0) }
+
+// NewDeflationFloor picks pNew for pOld per the paper's interval
+// (pOld/8, pOld/4), additionally requiring pNew >= floor. The paper's
+// analysis never needs the floor — its zeta/theta regime keeps n well
+// below pOld/8 whenever a deflation triggers — but implementations run
+// outside that regime (small zeta ablations, deep-crash churn) must not
+// shrink the cycle below the node count: a deflation with pNew < n has
+// no surjective mapping, so its contender resolution is structurally
+// infeasible. The smallest admissible prime is chosen, so when the
+// floor does not bind the result equals NewDeflation's exactly.
+func NewDeflationFloor(pOld, floor int64) (Deflation, error) {
 	if !primes.IsPrime(pOld) {
 		return Deflation{}, fmt.Errorf("pcycle: deflation from non-prime %d", pOld)
 	}
-	pNew, ok := primes.FirstPrimeIn(pOld/8, pOld/4)
+	lo := pOld / 8
+	if floor > 0 && floor-1 > lo {
+		lo = floor - 1 // FirstPrimeIn's interval is open: first prime > lo
+	}
+	pNew, ok := primes.FirstPrimeIn(lo, pOld/4)
 	if !ok {
-		return Deflation{}, fmt.Errorf("pcycle: no prime in (%d/8, %d/4)", pOld, pOld)
+		return Deflation{}, fmt.Errorf("pcycle: no prime in (%d, %d/4)", lo, pOld)
 	}
 	return Deflation{POld: pOld, PNew: pNew}, nil
 }
