@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race vet fmt check bench bench-graph bench-core bench-recovery fuzz fuzz-churn fuzz-graph sim sim-scale dht experiments
+.PHONY: all build test test-race vet fmt check bench bench-graph bench-core bench-recovery bench-json fuzz fuzz-churn fuzz-graph fuzz-crash sim sim-scale dht experiments
 
 all: check
 
@@ -15,7 +15,7 @@ test:
 # (goroutines hammering ops + subscribers + snapshot readers), the
 # parallel type-1 walk machinery in core, and the congest walk pool.
 test-race:
-	$(GO) test -race ./dex/... ./internal/core/... ./internal/congest/...
+	$(GO) test -race ./dex/... ./internal/core/... ./internal/congest/... ./internal/persist/...
 
 vet:
 	$(GO) vet ./...
@@ -52,18 +52,34 @@ bench-recovery:
 	$(GO) test -run '^$$' -bench RecoveryParallel -benchtime 50x .
 	$(GO) test ./internal/congest -run '^$$' -bench WalkBatchPool -benchtime 200x
 
+# Machine-readable benchmark baselines: re-run the hot-path benchmarks
+# with -benchmem and emit BENCH_core.json / BENCH_graph.json via
+# cmd/benchjson. CI diffs fresh runs against the committed files as a
+# report-only ratchet (noise-prone runners make a hard gate hostile).
+bench-json:
+	$(GO) test ./internal/core ./internal/persist -run '^$$' \
+		-bench 'RecoveryOp/dense|WALAppend|Checkpoint' -benchtime 200x -benchmem -timeout 20m \
+		| $(GO) run ./cmd/benchjson > BENCH_core.json
+	$(GO) test ./internal/graph -run '^$$' -bench 'WalkHop|GraphChurn' -benchtime 100000x -benchmem \
+		| $(GO) run ./cmd/benchjson > BENCH_graph.json
+
 # Differential fuzzing, one target per oracle tier: FuzzChurnTrace
 # replays decoded operation traces under the incremental-vs-full-rebuild
 # oracle plus the exhaustive invariant check; FuzzGraphOps replays graph
 # mutation sequences against the map-of-maps Ref oracle (swap-safety for
-# the flat adjacency arena).
-fuzz: fuzz-churn fuzz-graph
+# the flat adjacency arena); FuzzCrashRecovery kills persistent runs at
+# arbitrary points (including torn/corrupted WAL tails) and demands the
+# recovered network match a fresh oracle run of the surviving prefix.
+fuzz: fuzz-churn fuzz-graph fuzz-crash
 
 fuzz-churn:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzChurnTrace -fuzztime $(FUZZTIME)
 
 fuzz-graph:
 	$(GO) test ./internal/graph -run '^$$' -fuzz FuzzGraphOps -fuzztime $(FUZZTIME)
+
+fuzz-crash:
+	$(GO) test ./internal/persist -run '^$$' -fuzz FuzzCrashRecovery -fuzztime $(FUZZTIME)
 
 sim:
 	$(GO) run ./cmd/dexsim -n0 128 -steps 1000 -adversary random -gap-every 100

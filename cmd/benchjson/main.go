@@ -1,0 +1,78 @@
+// Command benchjson converts `go test -bench -benchmem` output on
+// stdin into a stable JSON document on stdout, keyed by benchmark
+// name with the -N GOMAXPROCS suffix stripped:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/core/ | benchjson > BENCH_core.json
+//
+// The output maps each benchmark to {ns_op, b_op, allocs_op} so CI
+// can diff runs against committed baselines without parsing test
+// output itself.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// benchLine matches e.g.
+// BenchmarkWALAppend-8   123456   9876 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := result{}
+		r.NsOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[4] != "" {
+			r.BOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	// Sorted keys keep committed baselines diffable.
+	names := make([]string, 0, len(out))
+	for n := range out {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		v, _ := json.Marshal(out[n])
+		fmt.Fprintf(&b, "  %q: %s", n, v)
+		if i < len(names)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	os.Stdout.WriteString(b.String())
+}

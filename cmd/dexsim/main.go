@@ -11,14 +11,27 @@
 //	dexsim -adversary cut -gap-every 25
 //	dexsim -audit sampled        # o(n) incremental audit every step
 //	dexsim -audit full           # exhaustive invariant check every step
+//
+// With -persist the run is durable: operations go through a
+// write-ahead log, checkpoints are taken every -checkpoint-every
+// steps, and SIGINT/SIGTERM trigger a final checkpoint before the
+// summary. A killed run resumes exactly where it stopped:
+//
+//	dexsim -persist run.d -steps 100000          # Ctrl-C at will
+//	dexsim -persist run.d -steps 100000 -resume  # continues to 100000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"math/rand"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
+	"syscall"
 
 	"repro/dex"
 	"repro/internal/harness"
@@ -29,7 +42,7 @@ import (
 func main() {
 	var (
 		n0       = flag.Int("n0", 64, "initial network size")
-		steps    = flag.Int("steps", 500, "churn steps")
+		steps    = flag.Int("steps", 500, "churn steps (with -resume: the lifetime total)")
 		pinsert  = flag.Float64("pinsert", 0.55, "insertion probability (random adversary)")
 		mode     = flag.String("mode", "staggered", "type-2 recovery: staggered|simplified")
 		advName  = flag.String("adversary", "random", "adversary: random|insert|delete|maxdeg|cut|coord")
@@ -41,6 +54,11 @@ func main() {
 		trace    = flag.Int("trace", 0, "print every k-th step's metrics (0=off)")
 		memstats = flag.Bool("memstats", false, "print heap and adjacency-arena memory summary after the run")
 		workers  = flag.Int("workers", 1, "parallel type-1 walk workers (seeded runs are identical at any width)")
+
+		persistDir = flag.String("persist", "", "durable-state directory: WAL every op, periodic checkpoints, crash recovery")
+		ckptEvery  = flag.Int("checkpoint-every", 4096, "steps between automatic checkpoints (-persist only)")
+		groupOps   = flag.Int("group-commit", 1, "ops per WAL fsync batch (-persist only)")
+		resume     = flag.Bool("resume", false, "resume from existing state in -persist dir (refused otherwise)")
 	)
 	flag.Parse()
 
@@ -70,14 +88,24 @@ func main() {
 			*histCap = 65536
 		}
 	}
-	nw, err := dex.New(
+	opts := []dex.Option{
 		dex.WithInitialSize(*n0),
 		dex.WithMode(recovery),
 		dex.WithSeed(*seed),
 		dex.WithAuditMode(auditMode),
 		dex.WithHistoryCap(*histCap),
 		dex.WithWorkers(*workers),
-	)
+	}
+	if *persistDir != "" {
+		if !*resume {
+			if ckpts, _ := filepath.Glob(filepath.Join(*persistDir, "checkpoint-*.ckpt")); len(ckpts) > 0 {
+				log.Fatalf("%s already holds state; pass -resume to continue it", *persistDir)
+			}
+		}
+		opts = append(opts, dex.WithPersistence(*persistDir,
+			dex.WithCheckpointEvery(*ckptEvery), dex.WithGroupCommit(*groupOps)))
+	}
+	nw, err := dex.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,14 +137,42 @@ func main() {
 		}
 	}
 
+	startStep := nw.Totals().Steps
 	fmt.Printf("DEX self-healing expander: n0=%d p0=%d mode=%s adversary=%s audit=%s workers=%d\n",
 		*n0, nw.P(), recovery, adv.Name(), auditMode, *workers)
-	recs, err := harness.Run(nw, adv, harness.RunConfig{
-		Steps: *steps, Seed: *seed, GapEvery: *gapEvery, DegEvery: *degEvery,
+	if startStep > 0 {
+		root, covered := nw.LastRoot()
+		fmt.Printf("resumed from %s at step %d (n=%d, history root %x over %d steps)\n",
+			*persistDir, startStep, nw.Size(), root[:8], covered)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	recs, interrupted, err := run(nw, adv, sigc, runParams{
+		steps: *steps, seed: *seed, gapEvery: *gapEvery, degEvery: *degEvery,
+		durable: *persistDir != "",
 	})
+	signal.Stop(sigc)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if interrupted {
+		fmt.Printf("\ninterrupted at step %d", nw.Totals().Steps)
+		if *persistDir != "" {
+			fmt.Printf("; resume with: dexsim -persist %s -resume -steps %d ...", *persistDir, *steps)
+		}
+		fmt.Println()
+	}
+	if *persistDir != "" {
+		// Final durable checkpoint so a resume replays no WAL suffix.
+		if err := nw.Checkpoint(); err != nil {
+			log.Fatalf("final checkpoint: %v", err)
+		}
+		root, covered := nw.LastRoot()
+		fmt.Printf("durable state: %s at step %d, history root %x over %d steps\n",
+			*persistDir, nw.Totals().Steps, root[:8], covered)
+	}
+
 	if *trace > 0 {
 		for i, r := range recs {
 			if i%*trace == 0 {
@@ -161,4 +217,54 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("all hold")
+}
+
+type runParams struct {
+	steps    int
+	seed     int64
+	gapEvery int
+	degEvery int
+	durable  bool
+}
+
+// run is the simulation loop: harness.Run with two additions — it
+// stops cleanly on a signal, and in durable mode it keys the
+// adversary's randomness off the engine's lifetime step count so a
+// resumed run continues the exact op schedule the killed run was
+// executing. In non-durable mode it reproduces harness.Run's records
+// byte for byte (one shared rng, same sampling cadence).
+func run(nw *dex.Network, adv harness.Adversary, sigc <-chan os.Signal, p runParams) ([]harness.Record, bool, error) {
+	rng := rand.New(rand.NewSource(p.seed))
+	capHint := p.steps
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	records := make([]harness.Record, 0, capHint)
+	for i := nw.Totals().Steps; i < p.steps; i = nw.Totals().Steps {
+		select {
+		case <-sigc:
+			return records, true, nil
+		default:
+		}
+		if p.durable {
+			// Deterministic across kill/resume: the adversary stream for
+			// step i depends only on the seed and i, never on how many
+			// sessions it took to get here. (Adversaries may perform more
+			// than one engine step per Step call; keying on the engine's
+			// lifetime count keeps the schedule aligned regardless.)
+			rng = rand.New(rand.NewSource(p.seed ^ int64(uint64(i+1)*0x9E3779B97F4A7C15)))
+		}
+		if err := adv.Step(nw, rng); err != nil {
+			return records, false, fmt.Errorf("step %d (%s): %w", i, adv.Name(), err)
+		}
+		rec := harness.Record{Step: i, N: nw.Size(), Cost: nw.LastCost(), Gap: math.NaN()}
+		if p.gapEvery > 0 && i%p.gapEvery == 0 {
+			rec.Gap = spectral.Gap(nw.Graph())
+		}
+		if p.degEvery == 0 || i%max(1, p.degEvery) == 0 {
+			rec.MaxDegree = nw.Graph().MaxDistinctDegree()
+		}
+		records = append(records, rec)
+	}
+	return records, false, nil
 }

@@ -54,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pcycle"
+	"repro/internal/persist"
 )
 
 // Vertex is a virtual vertex of the p-cycle expander Z(p).
@@ -136,6 +137,14 @@ type Network struct {
 	subsSnap []subscriber // cached delivery snapshot; nil after (un)subscribe
 	nextSub  int
 	inOp     bool // a mutating operation (and its event deliveries) is in flight
+
+	// Durability (WithPersistence); nil/empty otherwise. seedBuf
+	// captures the walk seeds each operation consumes, rec is the
+	// reused WAL record — both so steady-state commits allocate
+	// nothing.
+	log     *persist.Log
+	rec     persist.OpRecord
+	seedBuf []uint64
 }
 
 // enterOp guards the engine against re-entrant mutation: events are
@@ -174,6 +183,9 @@ func New(opts ...Option) (*Network, error) {
 // newFromOptions builds a network from parsed options (shared by New
 // and NewConcurrent).
 func newFromOptions(o options) (*Network, error) {
+	if o.persistDir != "" {
+		return newPersistent(o)
+	}
 	eng, err := core.New(o.initialSize, o.cfg)
 	if err != nil {
 		return nil, err
@@ -181,20 +193,38 @@ func newFromOptions(o options) (*Network, error) {
 	if o.rng != nil {
 		eng.SetRNG(o.rng)
 	}
+	return wrapEngine(eng, o), nil
+}
+
+// wrapEngine wires a constructed engine into the façade's event
+// plumbing.
+func wrapEngine(eng *core.Network, o options) *Network {
 	nw := &Network{eng: eng, audit: o.audit, lastP: eng.P()}
 	eng.SetTransferObserver(func(x Vertex, from, to NodeID) {
+		// Guard before constructing the event: boxing it into the Event
+		// interface allocates at this call site even when publish would
+		// drop it, and this observer fires once per migrated vertex on
+		// the steady-state recovery path.
+		if len(nw.subs) == 0 {
+			return
+		}
 		nw.publish(VertexTransferred{Vertex: x, From: from, To: to})
 	})
 	eng.SetRebuildObserver(func(pNew int64) {
-		nw.publish(GraphRebuilt{OldP: nw.lastP, NewP: pNew})
+		if len(nw.subs) > 0 {
+			nw.publish(GraphRebuilt{OldP: nw.lastP, NewP: pNew})
+		}
 		nw.lastP = pNew
 	})
 	if o.edgeEvents {
 		eng.SetEdgeObserver(func(step int, deltas []graph.EdgeDelta) {
+			if len(nw.subs) == 0 {
+				return
+			}
 			nw.publish(EdgesChanged{Step: step, Deltas: deltas})
 		})
 	}
-	return nw, nil
+	return nw
 }
 
 // afterOp publishes the stagger edge events of the step that just ran
@@ -223,7 +253,11 @@ func (nw *Network) Insert(id, attach NodeID) error {
 		return err
 	}
 	defer nw.exitOp()
+	nw.beginPersist()
 	if err := nw.eng.Insert(id, attach); err != nil {
+		return err
+	}
+	if err := nw.commitPersist(core.OpInsert, id, attach, nil, nil); err != nil {
 		return err
 	}
 	return nw.afterOp()
@@ -237,7 +271,11 @@ func (nw *Network) Delete(id NodeID) error {
 		return err
 	}
 	defer nw.exitOp()
+	nw.beginPersist()
 	if err := nw.eng.Delete(id); err != nil {
+		return err
+	}
+	if err := nw.commitPersist(core.OpDelete, id, 0, nil, nil); err != nil {
 		return err
 	}
 	return nw.afterOp()
@@ -251,7 +289,11 @@ func (nw *Network) InsertBatch(specs []InsertSpec) error {
 		return err
 	}
 	defer nw.exitOp()
+	nw.beginPersist()
 	if err := nw.eng.InsertBatch(specs); err != nil {
+		return err
+	}
+	if err := nw.commitPersist(core.OpBatchInsert, 0, 0, specs, nil); err != nil {
 		return err
 	}
 	return nw.afterOp()
@@ -265,7 +307,11 @@ func (nw *Network) DeleteBatch(ids []NodeID) error {
 		return err
 	}
 	defer nw.exitOp()
+	nw.beginPersist()
 	if err := nw.eng.DeleteBatch(ids); err != nil {
+		return err
+	}
+	if err := nw.commitPersist(core.OpBatchDelete, 0, 0, nil, ids); err != nil {
 		return err
 	}
 	return nw.afterOp()
@@ -371,10 +417,14 @@ func (nw *Network) FreshID() NodeID { return nw.eng.FreshID() }
 func (nw *Network) SampleNode(rng *rand.Rand) NodeID { return nw.eng.SampleNode(rng) }
 
 // Close releases the background worker pool created by WithWorkers, if
-// any. The network remains usable — a later operation recreates the
-// pool on demand — and serial networks never need Close.
+// any, and — under WithPersistence — flushes any staged WAL batch and
+// closes the log, leaving the directory resumable. A serial,
+// non-persistent network never needs Close.
 func (nw *Network) Close() error {
 	nw.eng.Close()
+	if nw.log != nil {
+		return nw.log.Close()
+	}
 	return nil
 }
 

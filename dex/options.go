@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 )
 
 // Mode selects how type-2 recovery is performed.
@@ -45,6 +46,8 @@ type options struct {
 	audit       AuditMode
 	edgeEvents  bool
 	asyncBuf    int // WithAsyncEvents buffer; -1 = sync (NewConcurrent only)
+	persistDir  string
+	popt        persist.Options
 	err         error
 }
 

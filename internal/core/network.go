@@ -202,6 +202,22 @@ type Network struct {
 	specHits    int
 	specMisses  int
 	tailWalks   int
+
+	// rngDraws counts uint64 draws taken from rng since construction.
+	// Both draw sites (the walkSeed fallback and predrawSeedsInto) go
+	// through drawU64, so a checkpoint can record the stream position and
+	// a restore can fast-forward a fresh source to it — RNG state is then
+	// (Seed, rngDraws, pending seedQ suffix), nothing more.
+	rngDraws uint64
+	// seedObserver, when set, is invoked with every walk seed the moment
+	// it is consumed (walkSeed, in serial commit order). The persistence
+	// layer records the per-step seed stream in WAL records with it and
+	// verifies the stream during replay.
+	seedObserver func(seed uint64)
+	// rngReplaced marks that SetRNG swapped in a caller-owned source, so
+	// (Seed, rngDraws) no longer describes the stream and the network
+	// cannot be checkpointed.
+	rngReplaced bool
 }
 
 // New builds an initial DEX network of n0 >= 4 nodes with ids 0..n0-1,
@@ -298,6 +314,10 @@ func (nw *Network) Coordinator() NodeID { return nw.simOf[0] }
 // Zeta returns the configured maximum cloud size zeta (Lemma 9 bounds
 // every load by 4*zeta).
 func (nw *Network) Zeta() int { return nw.cfg.Zeta }
+
+// Config returns the network's configuration (a copy). Persistence uses
+// it to reject resuming a checkpoint under incompatible options.
+func (nw *Network) Config() Config { return nw.cfg }
 
 // SpareCount and LowCount expose the coordinator's counters.
 func (nw *Network) SpareCount() int { return nw.nSpare }
@@ -597,6 +617,7 @@ func (nw *Network) SetTransferObserver(f func(x Vertex, from, to NodeID)) {
 func (nw *Network) SetRNG(r *rand.Rand) {
 	if r != nil {
 		nw.rng = r
+		nw.rngReplaced = true
 	}
 }
 
@@ -713,16 +734,36 @@ func (nw *Network) chargeCoordinatorNotify(v NodeID) {
 // speculated — the cornerstone of the worker-count determinism
 // guarantee.
 func (nw *Network) walkSeed() uint64 {
+	var s uint64
 	if nw.seedHead < len(nw.seedQ) {
-		s := nw.seedQ[nw.seedHead]
+		s = nw.seedQ[nw.seedHead]
 		nw.seedHead++
 		if nw.seedHead == len(nw.seedQ) {
 			nw.seedQ = nw.seedQ[:0]
 			nw.seedHead = 0
 		}
-		return s
+	} else {
+		s = nw.drawU64()
 	}
+	if nw.seedObserver != nil {
+		nw.seedObserver(s)
+	}
+	return s
+}
+
+// drawU64 is the only call site of rng.Uint64: it keeps rngDraws equal
+// to the number of values consumed from the source, which is what makes
+// the RNG checkpointable (see EncodeState).
+func (nw *Network) drawU64() uint64 {
+	nw.rngDraws++
 	return nw.rng.Uint64()
+}
+
+// SetSeedObserver registers a callback fired with every walk seed as it
+// is consumed, in serial commit order (nil to clear). The callback must
+// not reenter the network.
+func (nw *Network) SetSeedObserver(f func(seed uint64)) {
+	nw.seedObserver = f
 }
 
 // runWalk performs one type-1 token walk on the live overlay and charges

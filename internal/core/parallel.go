@@ -99,7 +99,7 @@ func (nw *Network) SpecStats() (hits, misses, tail int) {
 // loop still reads its own seed copy afterwards.
 func (nw *Network) predrawSeedsInto(buf []uint64, k int) []uint64 {
 	for len(nw.seedQ)-nw.seedHead < k {
-		nw.seedQ = append(nw.seedQ, nw.rng.Uint64())
+		nw.seedQ = append(nw.seedQ, nw.drawU64())
 	}
 	return append(buf[:0], nw.seedQ[nw.seedHead:nw.seedHead+k]...)
 }

@@ -455,6 +455,29 @@ func (st *state) mirrorRemove(u NodeID) {
 	}
 }
 
+// restoreMirror rebuilds the sampling mirror from a serialized node
+// list, preserving its insertion/swap order exactly (SampleNode's draws
+// depend on it). Dense backend only; the graph slots must already exist
+// (DecodeBinary fired the assign hooks).
+func (st *state) restoreMirror(list []NodeID) error {
+	if st.m != nil {
+		return fmt.Errorf("store: restoreMirror requires the dense backend")
+	}
+	st.nodeList = append(st.nodeList[:0], list...)
+	for i, u := range list {
+		s, ok := st.g.SlotOf(u)
+		if !ok {
+			return fmt.Errorf("store: mirror node %d has no graph slot", u)
+		}
+		sh, si := st.shardOf(s)
+		if sh.pos[si] >= 0 {
+			return fmt.Errorf("store: mirror node %d listed twice", u)
+		}
+		sh.pos[si] = int32(i)
+	}
+	return nil
+}
+
 // mirrorPos returns u's sampling-mirror position, for audits.
 func (st *state) mirrorPos(u NodeID) (int, bool) {
 	if m := st.m; m != nil {

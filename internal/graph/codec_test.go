@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// churnedGraph builds a graph whose slot table has holes and a
+// non-trivial free-slot stack: grow, delete interior nodes, regrow.
+func churnedGraph(t testing.TB, seed int64, n int) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	ids := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		u := NodeID(i)
+		g.AddNode(u)
+		ids = append(ids, u)
+	}
+	for step := 0; step < 6*n; step++ {
+		switch rng.Intn(5) {
+		case 0:
+			u := NodeID(1000 + step)
+			g.AddNode(u)
+			ids = append(ids, u)
+		case 1:
+			if len(ids) > 4 {
+				i := rng.Intn(len(ids))
+				g.RemoveNode(ids[i])
+				ids[i] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+			}
+		default:
+			u := ids[rng.Intn(len(ids))]
+			v := ids[rng.Intn(len(ids))]
+			if rng.Intn(4) == 0 {
+				g.RemoveEdge(u, v)
+			} else {
+				g.AddEdgeMult(u, v, 1+rng.Intn(3))
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("churned graph invalid: %v", err)
+	}
+	return g
+}
+
+func decodeInto(t *testing.T, g *Graph, data []byte) *Graph {
+	t.Helper()
+	out := New()
+	if err := out.DecodeBinary(wire.NewDecoder(data)); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		g := churnedGraph(t, seed, 64)
+		enc := wire.NewEncoder(nil)
+		g.AppendBinary(enc)
+		got := decodeInto(t, g, enc.Bytes())
+
+		if err := got.Validate(); err != nil {
+			t.Fatalf("seed %d: decoded graph invalid: %v", seed, err)
+		}
+		if got.Epoch() != g.Epoch() {
+			t.Fatalf("seed %d: epoch %d != %d", seed, got.Epoch(), g.Epoch())
+		}
+		if !reflect.DeepEqual(got.Edges(), g.Edges()) {
+			t.Fatalf("seed %d: edge sets differ", seed)
+		}
+		// The slot table must round-trip exactly, not just isomorphically.
+		if got.Slots() != g.Slots() {
+			t.Fatalf("seed %d: slots %d != %d", seed, got.Slots(), g.Slots())
+		}
+		for _, u := range g.Nodes() {
+			ws, _ := g.SlotOf(u)
+			gs, ok := got.SlotOf(u)
+			if !ok || gs != ws {
+				t.Fatalf("seed %d: node %d slot %d, want %d", seed, u, gs, ws)
+			}
+		}
+		if !reflect.DeepEqual(got.freeSlots, g.freeSlots) {
+			t.Fatalf("seed %d: free-slot stacks differ: %v vs %v", seed, got.freeSlots, g.freeSlots)
+		}
+		// Future slot assignment must match: add fresh nodes to both and
+		// compare the slots they land in. Capture the bound up front —
+		// each added node past the free-slot stack grows Slots() by one.
+		fresh := g.Slots() + 4
+		for i := 0; i < fresh; i++ {
+			u := NodeID(1<<40) + NodeID(i)
+			g.AddNode(u)
+			got.AddNode(u)
+			ws, _ := g.SlotOf(u)
+			gs, _ := got.SlotOf(u)
+			if ws != gs {
+				t.Fatalf("seed %d: fresh node %d landed in slot %d, want %d", seed, u, gs, ws)
+			}
+		}
+	}
+}
+
+func TestCodecHooksFireAscending(t *testing.T) {
+	g := churnedGraph(t, 3, 32)
+	enc := wire.NewEncoder(nil)
+	g.AppendBinary(enc)
+
+	out := New()
+	var slots []int32
+	out.SetSlotHooks(func(u NodeID, s int32) {
+		slots = append(slots, s)
+	}, nil)
+	if err := out.DecodeBinary(wire.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(slots) != g.NumNodes() {
+		t.Fatalf("assign hook fired %d times, want %d", len(slots), g.NumNodes())
+	}
+	for i := 1; i < len(slots); i++ {
+		if slots[i] <= slots[i-1] {
+			t.Fatalf("assign hooks not ascending: %v", slots)
+		}
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	g := churnedGraph(t, 5, 32)
+	enc := wire.NewEncoder(nil)
+	g.AppendBinary(enc)
+	data := enc.Bytes()
+
+	// Truncation at every prefix must error, never panic or accept.
+	for cut := 0; cut < len(data); cut++ {
+		out := New()
+		if err := out.DecodeBinary(wire.NewDecoder(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(data))
+		}
+	}
+	// Decoding into a non-empty graph must be refused.
+	out := New()
+	out.AddNode(1)
+	if err := out.DecodeBinary(wire.NewDecoder(data)); err == nil {
+		t.Fatal("decode into non-empty graph accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package persist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// mmr is a Merkle Mountain Range accumulator over per-step history
+// digests. Appending is O(1) amortised — the peaks form a binary
+// counter, and each append merges trailing peaks of equal height —
+// so the engine can maintain a verifiable digest of its entire
+// History() stream incrementally, one hash per step, without holding
+// the tree. The root "bags" the peaks right-to-left, so two engines
+// that processed the same step sequence report the same root even if
+// one of them was restarted from a checkpoint along the way.
+type mmr struct {
+	peaks   []peak
+	count   uint64
+	scratch [72]byte // 8-byte domain tag + two 32-byte children
+}
+
+type peak struct {
+	height uint8
+	hash   [32]byte
+}
+
+// add appends one leaf digest.
+func (m *mmr) add(leaf [32]byte) {
+	p := peak{height: 0, hash: leaf}
+	for n := len(m.peaks); n > 0 && m.peaks[n-1].height == p.height; n = len(m.peaks) {
+		p.hash = m.merge(m.peaks[n-1].hash, p.hash)
+		p.height++
+		m.peaks = m.peaks[:n-1]
+	}
+	m.peaks = append(m.peaks, p)
+	m.count++
+}
+
+func (m *mmr) merge(l, r [32]byte) [32]byte {
+	copy(m.scratch[0:8], "mmr-node")
+	copy(m.scratch[8:40], l[:])
+	copy(m.scratch[40:72], r[:])
+	return sha256.Sum256(m.scratch[:])
+}
+
+// root bags the peaks right-to-left into a single digest. Empty
+// ranges hash to the zero digest.
+func (m *mmr) root() [32]byte {
+	if len(m.peaks) == 0 {
+		return [32]byte{}
+	}
+	h := m.peaks[len(m.peaks)-1].hash
+	for i := len(m.peaks) - 2; i >= 0; i-- {
+		h = m.merge(m.peaks[i].hash, h)
+	}
+	return h
+}
+
+func (m *mmr) appendBinary(enc *wire.Encoder) {
+	enc.U64(m.count)
+	enc.Uvarint(uint64(len(m.peaks)))
+	for _, p := range m.peaks {
+		enc.Byte(p.height)
+		enc.Raw(p.hash[:])
+	}
+}
+
+func (m *mmr) decodeBinary(dec *wire.Decoder) error {
+	m.count = dec.U64()
+	n := dec.Uvarint()
+	if n > 64 {
+		return errCorrupt("mmr: too many peaks")
+	}
+	m.peaks = m.peaks[:0]
+	for i := uint64(0); i < n; i++ {
+		var p peak
+		p.height = dec.Byte()
+		copy(p.hash[:], dec.Fixed(32))
+		m.peaks = append(m.peaks, p)
+	}
+	return dec.Err()
+}
+
+// stepLeaf hashes one StepMetrics record into a leaf digest using the
+// same wire encoding the snapshot layer uses, under a distinct domain
+// tag so a leaf can never be confused with an interior node.
+func stepLeaf(enc *wire.Encoder, m *core.StepMetrics) [32]byte {
+	enc.Reset()
+	enc.Raw([]byte("mmr-leaf"))
+	var step [8]byte
+	binary.LittleEndian.PutUint64(step[:], uint64(m.Step))
+	enc.Raw(step[:])
+	m.AppendBinary(enc)
+	return sha256.Sum256(enc.Bytes())
+}

@@ -1,0 +1,284 @@
+package persist
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// WAL format. The file opens with a fixed header binding it to the
+// checkpoint it extends, then carries a sequence of framed records:
+//
+//	header:  magic "DEXWAL01" | u64 afterStep | u32 headerCRC
+//	record:  u32 payloadLen | u32 chainCRC | payload
+//
+// chainCRC is crc32c over the payload seeded with the previous
+// record's chainCRC (the header CRC for the first record), so records
+// cannot be reordered, dropped from the middle, or spliced between
+// files without detection. A torn tail — the expected failure mode of
+// a crash mid-write — fails either the length bound or the chain CRC
+// and is truncated away; everything before it replays.
+const (
+	walMagic      = "DEXWAL01"
+	walHeaderSize = 8 + 8 + 4
+	// maxWALRecord bounds a single record's payload; a length field
+	// above it means the length word itself is torn garbage.
+	maxWALRecord = 1 << 24
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// OpRecord is one logical engine operation as logged to the WAL:
+// which mutation ran, the walk seeds it consumed, and the step
+// metrics it produced. Every façade operation is exactly one engine
+// step, so Metrics is a single StepMetrics. Replay re-executes the
+// mutation and verifies both seeds and metrics match, so a WAL from a
+// diverged binary is rejected rather than silently applied.
+type OpRecord struct {
+	Op      core.OpKind
+	ID      core.NodeID // Insert / Delete target
+	Attach  core.NodeID // Insert attach point
+	Inserts []core.InsertSpec
+	Deletes []core.NodeID
+	Seeds   []uint64
+	Metrics core.StepMetrics
+}
+
+func (r *OpRecord) reset() {
+	r.Inserts = r.Inserts[:0]
+	r.Deletes = r.Deletes[:0]
+	r.Seeds = r.Seeds[:0]
+	r.Metrics = core.StepMetrics{}
+}
+
+func (r *OpRecord) appendBinary(enc *wire.Encoder) {
+	enc.Byte(byte(r.Op))
+	enc.Varint(int64(r.ID))
+	enc.Varint(int64(r.Attach))
+	enc.Uvarint(uint64(len(r.Inserts)))
+	for _, s := range r.Inserts {
+		enc.Varint(int64(s.ID))
+		enc.Varint(int64(s.Attach))
+	}
+	enc.Uvarint(uint64(len(r.Deletes)))
+	for _, id := range r.Deletes {
+		enc.Varint(int64(id))
+	}
+	enc.Uvarint(uint64(len(r.Seeds)))
+	for _, s := range r.Seeds {
+		enc.U64(s)
+	}
+	r.Metrics.AppendBinary(enc)
+}
+
+func (r *OpRecord) decodeBinary(dec *wire.Decoder) error {
+	r.reset()
+	r.Op = core.OpKind(dec.Byte())
+	if r.Op > core.OpBatchDelete {
+		return errCorrupt("wal: unknown op kind")
+	}
+	r.ID = core.NodeID(dec.Varint())
+	r.Attach = core.NodeID(dec.Varint())
+	n := dec.Uvarint()
+	if n > uint64(dec.Remaining()) {
+		return errCorrupt("wal: insert count exceeds record")
+	}
+	for i := uint64(0); i < n; i++ {
+		r.Inserts = append(r.Inserts, core.InsertSpec{
+			ID:     core.NodeID(dec.Varint()),
+			Attach: core.NodeID(dec.Varint()),
+		})
+	}
+	n = dec.Uvarint()
+	if n > uint64(dec.Remaining()) {
+		return errCorrupt("wal: delete count exceeds record")
+	}
+	for i := uint64(0); i < n; i++ {
+		r.Deletes = append(r.Deletes, core.NodeID(dec.Varint()))
+	}
+	n = dec.Uvarint()
+	if n > uint64(dec.Remaining())/8+1 {
+		return errCorrupt("wal: seed count exceeds record")
+	}
+	for i := uint64(0); i < n; i++ {
+		r.Seeds = append(r.Seeds, dec.U64())
+	}
+	r.Metrics.DecodeBinary(dec)
+	return dec.Err()
+}
+
+// wal is the append side of the log: an open file plus the staged,
+// not-yet-synced batch. Records are framed into `staged` as they
+// arrive and flushed with a single write+fsync when the batch fills,
+// so the group-commit knob trades durability window for fsync rate.
+type wal struct {
+	f        *os.File
+	chain    uint32 // chainCRC of the last framed record
+	staged   []byte // framed records awaiting write+fsync
+	stagedN  int    // records currently staged
+	enc      wire.Encoder
+	noSync   bool
+	writeErr error // sticky: a failed flush poisons the log
+}
+
+func walHeader(afterStep uint64) []byte {
+	buf := make([]byte, 0, walHeaderSize)
+	enc := wire.NewEncoder(buf)
+	enc.Raw([]byte(walMagic))
+	enc.U64(afterStep)
+	h := enc.Bytes()
+	crc := crc32.Checksum(h, castagnoli)
+	enc.U32(crc)
+	return enc.Bytes()
+}
+
+// createWAL starts a fresh log at path extending the checkpoint taken
+// after afterStep.
+func createWAL(path string, afterStep uint64, noSync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	h := walHeader(afterStep)
+	if _, err := f.Write(h); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &wal{f: f, chain: crc32.Checksum(h[:walHeaderSize-4], castagnoli), noSync: noSync}
+	if err := w.sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// stage frames rec into the pending batch. Nothing reaches the disk
+// until flush, so a crash before flush loses the whole batch — which
+// is exactly the contract group commit advertises.
+func (w *wal) stage(rec *OpRecord) {
+	w.enc.Reset()
+	rec.appendBinary(&w.enc)
+	payload := w.enc.Bytes()
+	w.chain = crc32.Update(w.chain, castagnoli, payload)
+	var frame [8]byte
+	le32(frame[0:4], uint32(len(payload)))
+	le32(frame[4:8], w.chain)
+	w.staged = append(w.staged, frame[:]...)
+	w.staged = append(w.staged, payload...)
+	w.stagedN++
+}
+
+func le32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// flush writes and fsyncs the staged batch.
+func (w *wal) flush() error {
+	if w.writeErr != nil {
+		return w.writeErr
+	}
+	if len(w.staged) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.staged); err != nil {
+		w.writeErr = err
+		return err
+	}
+	w.staged = w.staged[:0]
+	w.stagedN = 0
+	return w.sync()
+}
+
+func (w *wal) sync() error {
+	if w.noSync {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.writeErr = err
+		return err
+	}
+	return nil
+}
+
+func (w *wal) close() error {
+	err := w.flush()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// dropStaged discards the pending batch without writing it — the
+// crash-simulation hook used by the recovery fuzzer.
+func (w *wal) dropStaged() {
+	w.staged = w.staged[:0]
+	w.stagedN = 0
+}
+
+// readWAL scans a log file, calling visit for each intact record in
+// order. It returns the step the log's base checkpoint covers. A torn
+// or corrupt tail stops the scan silently — those records were never
+// acknowledged as durable — but a corrupt header or a visit error is
+// a real failure.
+func readWAL(path string, rec *OpRecord, visit func(*OpRecord) error) (afterStep uint64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < walHeaderSize {
+		return 0, errCorrupt("wal: short header")
+	}
+	if string(data[:8]) != walMagic {
+		return 0, errCorrupt("wal: bad magic")
+	}
+	hdec := wire.NewDecoder(data[8:walHeaderSize])
+	afterStep = hdec.U64()
+	wantCRC := hdec.U32()
+	chain := crc32.Checksum(data[:walHeaderSize-4], castagnoli)
+	if wantCRC != chain {
+		return 0, errCorrupt("wal: header checksum mismatch")
+	}
+	off := walHeaderSize
+	for off < len(data) {
+		if len(data)-off < 8 {
+			break // torn frame header
+		}
+		plen := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		want := uint32(data[off+4]) | uint32(data[off+5])<<8 | uint32(data[off+6])<<16 | uint32(data[off+7])<<24
+		if plen <= 0 || plen > maxWALRecord || len(data)-off-8 < plen {
+			break // torn length or payload
+		}
+		payload := data[off+8 : off+8+plen]
+		next := crc32.Update(chain, castagnoli, payload)
+		if next != want {
+			break // torn or corrupted payload
+		}
+		if err := rec.decodeBinary(wire.NewDecoder(payload)); err != nil {
+			// The CRC passed but the payload doesn't parse: that is
+			// not a torn write, it is a format bug or tampering.
+			return afterStep, fmt.Errorf("wal: record at offset %d: %w", off, err)
+		}
+		if err := visit(rec); err != nil {
+			return afterStep, err
+		}
+		chain = next
+		off += 8 + plen
+	}
+	return afterStep, nil
+}
+
+func errCorrupt(msg string) error { return fmt.Errorf("persist: %s: %w", msg, ErrCorrupt) }
+
+// ErrCorrupt tags errors caused by invalid on-disk state, as opposed
+// to I/O failures.
+var ErrCorrupt = errDetectedCorruption{}
+
+type errDetectedCorruption struct{}
+
+func (errDetectedCorruption) Error() string { return "detected corruption" }

@@ -1,0 +1,232 @@
+// Package wire provides the minimal binary encoding layer shared by the
+// durable-state subsystem: a sticky-error append Encoder and a
+// bounds-checked Decoder over varint/fixed-width primitives. It exists
+// as its own package so internal/graph and internal/core can expose
+// encode/decode hooks without importing internal/persist (which imports
+// both), and it deliberately has no dependencies beyond the standard
+// library's binary package.
+//
+// The encoding is position-dependent and schema-less: writer and reader
+// must agree on the field sequence, and every persisted stream carries a
+// version number at a higher layer (checkpoint and WAL headers) so the
+// sequence can evolve.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrTruncated reports a decoder running past the end of its input.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrOverflow reports a varint that does not fit its target width.
+var ErrOverflow = errors.New("wire: varint overflow")
+
+// Encoder appends primitives to a reusable byte buffer. The zero value
+// is ready to use; Reset keeps the capacity across uses so steady-state
+// encoding (the WAL append path) allocates nothing once warm.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder appending to buf (which may be nil).
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// Reset empties the encoder, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the encoded stream. The slice aliases the encoder's
+// buffer and is invalidated by the next append or Reset.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Varint appends a signed (zig-zag) varint.
+func (e *Encoder) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// U32 appends a fixed-width little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a fixed-width little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// F64 appends a float64 as its IEEE-754 bit pattern.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Byte appends a single byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bytes8 appends a length-prefixed byte slice (uvarint length).
+func (e *Encoder) Bytes8(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Raw appends b with no length prefix.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Decoder reads primitives back from a byte stream. Errors are sticky:
+// after the first failure every getter returns the zero value and Err
+// reports the failure, so decode sequences can run unchecked and test
+// once at the end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decode failure, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrTruncated)
+		} else {
+			d.fail(ErrOverflow)
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a signed (zig-zag) varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrTruncated)
+		} else {
+			d.fail(ErrOverflow)
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// U32 reads a fixed-width little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 4 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// U64 reads a fixed-width little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// F64 reads a float64 bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a one-byte boolean.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.Remaining() < 1 {
+		d.fail(ErrTruncated)
+		return false
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b != 0
+}
+
+// Byte reads a single byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 1 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Fixed reads exactly n raw bytes. The result aliases the decoder's
+// input.
+func (d *Decoder) Fixed(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Bytes8 reads a length-prefixed byte slice. The result aliases the
+// decoder's input.
+func (d *Decoder) Bytes8() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(d.Remaining()) < n {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
