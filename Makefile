@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race vet fmt check bench bench-graph bench-core bench-recovery bench-json fuzz fuzz-churn fuzz-graph fuzz-crash sim sim-scale dht experiments
+.PHONY: all build test test-race vet fmt check bench bench-graph bench-core bench-recovery bench-json bench-diff fuzz fuzz-churn fuzz-graph fuzz-crash sim sim-scale dht experiments
 
 all: check
 
@@ -54,14 +54,43 @@ bench-recovery:
 
 # Machine-readable benchmark baselines: re-run the hot-path benchmarks
 # with -benchmem and emit BENCH_core.json / BENCH_graph.json via
-# cmd/benchjson. CI diffs fresh runs against the committed files as a
-# report-only ratchet (noise-prone runners make a hard gate hostile).
+# cmd/benchjson. CI diffs fresh runs against the committed files via
+# cmd/benchdiff (see bench-diff below). The core and persist packages
+# run in separate invocations — `go test p1 p2` runs the two test
+# binaries concurrently, and the contention skews the gated
+# RecoveryOp row by 20%+. The graph rows use a 2M-iteration window
+# (at ~200ns/op, 100000x is a 20ms sample and pure scheduler noise),
+# and every gated row is the fastest of 3 reruns — benchjson keeps the
+# minimum per name, the noise-robust statistic on a host with steal.
 bench-json:
-	$(GO) test ./internal/core ./internal/persist -run '^$$' \
-		-bench 'RecoveryOp/dense|WALAppend|Checkpoint' -benchtime 200x -benchmem -timeout 20m \
+	$(GO) test ./internal/core -run '^$$' \
+		-bench 'RecoveryOp/dense' -benchtime 200x -benchmem -count 3 -timeout 20m \
 		| $(GO) run ./cmd/benchjson > BENCH_core.json
-	$(GO) test ./internal/graph -run '^$$' -bench 'WalkHop|GraphChurn' -benchtime 100000x -benchmem \
+	$(GO) test ./internal/persist -run '^$$' \
+		-bench 'WALAppend|Checkpoint' -benchtime 200x -benchmem -timeout 20m \
+		| $(GO) run ./cmd/benchjson -append BENCH_core.json
+	$(GO) test ./internal/graph -run '^$$' \
+		-bench 'WalkHop|GraphChurn' -benchtime 2000000x -benchmem -count 3 \
 		| $(GO) run ./cmd/benchjson > BENCH_graph.json
+
+# Thresholded benchmark ratchet: regenerate fresh measurements and diff
+# them against the committed baselines. The walk-hop and recovery-op
+# rows fail on >10% ns/op drift or any allocs/op increase; all other
+# rows are report-only (runner noise makes a blanket hard gate hostile).
+bench-diff:
+	$(GO) test ./internal/core -run '^$$' \
+		-bench 'RecoveryOp/dense' -benchtime 200x -benchmem -count 3 -timeout 20m \
+		| $(GO) run ./cmd/benchjson > /tmp/bench_core_fresh.json
+	$(GO) test ./internal/persist -run '^$$' \
+		-bench 'WALAppend|Checkpoint' -benchtime 200x -benchmem -timeout 20m \
+		| $(GO) run ./cmd/benchjson -append /tmp/bench_core_fresh.json
+	$(GO) test ./internal/graph -run '^$$' \
+		-bench 'WalkHop|GraphChurn' -benchtime 2000000x -benchmem -count 3 \
+		| $(GO) run ./cmd/benchjson > /tmp/bench_graph_fresh.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_core.json -fresh /tmp/bench_core_fresh.json \
+		-gate 'BenchmarkRecoveryOp/dense/n=100000'
+	$(GO) run ./cmd/benchdiff -baseline BENCH_graph.json -fresh /tmp/bench_graph_fresh.json \
+		-gate 'BenchmarkWalkHop'
 
 # Differential fuzzing, one target per oracle tier: FuzzChurnTrace
 # replays decoded operation traces under the incremental-vs-full-rebuild

@@ -1,0 +1,116 @@
+// Command benchdiff compares a fresh cmd/benchjson document against a
+// committed baseline and enforces a thresholded ratchet: rows named by
+// -gate fail the run on a >10% ns/op regression or any allocs/op
+// increase; every other row is report-only (noise-prone CI runners make
+// a blanket hard gate hostile, but the hot-path rows the repo optimizes
+// for must not silently decay).
+//
+//	go test ... -benchmem | benchjson > fresh.json
+//	benchdiff -baseline BENCH_graph.json -fresh fresh.json -gate BenchmarkWalkHop
+//
+// Gated rows missing from the fresh run also fail: a renamed or deleted
+// benchmark must move its baseline in the same change.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+const maxNsRegression = 0.10 // gated rows may drift at most +10% ns/op
+
+func load(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed benchjson document")
+	freshPath := flag.String("fresh", "", "freshly generated benchjson document")
+	gateList := flag.String("gate", "", "comma-separated benchmark names held to the ratchet")
+	flag.Parse()
+	if *baselinePath == "" || *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -fresh are required")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	gated := map[string]bool{}
+	for _, name := range strings.Split(*gateList, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			gated[name] = true
+		}
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		base := baseline[name]
+		now, ok := fresh[name]
+		if !ok {
+			if gated[name] {
+				fmt.Printf("FAIL %s: gated row missing from fresh run\n", name)
+				failed = true
+			} else {
+				fmt.Printf("     %s: missing from fresh run\n", name)
+			}
+			continue
+		}
+		delta := 0.0
+		if base.NsOp > 0 {
+			delta = (now.NsOp - base.NsOp) / base.NsOp
+		}
+		line := fmt.Sprintf("%s: %.5g -> %.5g ns/op (%+.1f%%), allocs %d -> %d",
+			name, base.NsOp, now.NsOp, 100*delta, base.AllocsOp, now.AllocsOp)
+		switch {
+		case gated[name] && now.AllocsOp > base.AllocsOp:
+			fmt.Printf("FAIL %s: allocs/op increased\n", line)
+			failed = true
+		case gated[name] && delta > maxNsRegression:
+			fmt.Printf("FAIL %s: ns/op over the +%.0f%% ratchet\n", line, 100*maxNsRegression)
+			failed = true
+		case gated[name]:
+			fmt.Printf("ok   %s\n", line)
+		default:
+			fmt.Printf("     %s\n", line)
+		}
+	}
+	for name := range fresh {
+		if _, ok := baseline[name]; !ok {
+			fmt.Printf("     %s: new row, no baseline\n", name)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

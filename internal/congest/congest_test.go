@@ -77,7 +77,7 @@ func TestWalkEngineMatchesDirect(t *testing.T) {
 	// step count. This is the fidelity bridge that lets the churn
 	// experiments use the fast path.
 	g := expanderish(64, 3)
-	stop := func(u graph.NodeID) bool { return u%7 == 3 }
+	stop := func(u graph.NodeID, _ int32) bool { return u%7 == 3 }
 	for seed := uint64(1); seed <= 25; seed++ {
 		d := RandomWalkDirect(g, 5, -1, 30, seed, stop)
 		e := NewEngine(g)
@@ -95,11 +95,14 @@ func TestWalkRespectsExclusion(t *testing.T) {
 	g := expanderish(40, 9)
 	const excluded = graph.NodeID(11)
 	for seed := uint64(0); seed < 40; seed++ {
-		res := RandomWalkDirect(g, 0, excluded, 200, seed, func(u graph.NodeID) bool { return false })
+		res := RandomWalkDirect(g, 0, excluded, 200, seed, func(graph.NodeID, int32) bool { return false })
 		_ = res
 		// Re-run recording the trajectory via the stop callback.
 		visited := make(map[graph.NodeID]bool)
-		RandomWalkDirect(g, 0, excluded, 200, seed, func(u graph.NodeID) bool {
+		RandomWalkDirect(g, 0, excluded, 200, seed, func(u graph.NodeID, s int32) bool {
+			if ws, ok := g.SlotOf(u); !ok || ws != s {
+				t.Fatalf("seed %d: stop saw slot %d for node %d, graph says %d", seed, s, u, ws)
+			}
 			visited[u] = true
 			return false
 		})
@@ -111,7 +114,7 @@ func TestWalkRespectsExclusion(t *testing.T) {
 
 func TestWalkStopsAtStart(t *testing.T) {
 	g := ringGraph(5)
-	res := RandomWalkDirect(g, 2, -1, 10, 1, func(u graph.NodeID) bool { return u == 2 })
+	res := RandomWalkDirect(g, 2, -1, 10, 1, func(u graph.NodeID, _ int32) bool { return u == 2 })
 	if !res.Hit || res.Steps != 0 || res.End != 2 {
 		t.Fatalf("res = %+v", res)
 	}
@@ -120,7 +123,7 @@ func TestWalkStopsAtStart(t *testing.T) {
 func TestWalkStuckWhenOnlyNeighborExcluded(t *testing.T) {
 	g := graph.New()
 	g.AddEdge(1, 2)
-	res := RandomWalkDirect(g, 1, 2, 10, 1, func(u graph.NodeID) bool { return false })
+	res := RandomWalkDirect(g, 1, 2, 10, 1, func(graph.NodeID, int32) bool { return false })
 	if res.Hit || res.Steps != 0 {
 		t.Fatalf("res = %+v", res)
 	}
@@ -137,7 +140,7 @@ func TestWalkWeightedByMultiplicity(t *testing.T) {
 	hits := 0
 	const trials = 2000
 	for seed := uint64(0); seed < trials; seed++ {
-		res := RandomWalkDirect(g, 0, -1, 1, seed, func(u graph.NodeID) bool { return u == 1 })
+		res := RandomWalkDirect(g, 0, -1, 1, seed, func(u graph.NodeID, _ int32) bool { return u == 1 })
 		if res.Hit {
 			hits++
 		}
@@ -232,6 +235,6 @@ func BenchmarkRandomWalkDirect(b *testing.B) {
 	g := expanderish(4096, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		RandomWalkDirect(g, 0, -1, 40, uint64(i), func(u graph.NodeID) bool { return false })
+		RandomWalkDirect(g, 0, -1, 40, uint64(i), func(graph.NodeID, int32) bool { return false })
 	}
 }

@@ -35,25 +35,42 @@ type WalkResult struct {
 }
 
 // RandomWalkDirect performs a multiplicity-weighted token walk of at most
-// maxLen steps starting at start; it stops early when stop(node) is true
-// for the node the token reaches (the start node itself is tested first,
-// costing no messages). exclude (-1 to disable) is never stepped onto -
-// the paper excludes the freshly inserted node from insertion walks.
-func RandomWalkDirect(g *graph.Graph, start graph.NodeID, exclude graph.NodeID, maxLen int, seed uint64, stop func(graph.NodeID) bool) WalkResult {
-	if stop(start) {
+// maxLen steps starting at start; it stops early when stop(node, slot) is
+// true for the node the token reaches (the start node itself is tested
+// first, costing no messages). exclude (-1 to disable) is never stepped
+// onto - the paper excludes the freshly inserted node from insertion walks.
+//
+// The walk is slot-native: the start's id→slot lookup happens once, and
+// every subsequent hop reads the neighbor's slot straight out of the
+// arena's run cell (RandomNeighborStepAt), so the stop predicate can probe
+// slot-indexed columnar state without ever touching the id→slot map. A
+// start node absent from the graph yields a zero-step miss without calling
+// stop.
+func RandomWalkDirect(g *graph.Graph, start graph.NodeID, exclude graph.NodeID, maxLen int, seed uint64, stop func(graph.NodeID, int32) bool) WalkResult {
+	cs, ok := g.SlotOf(start)
+	if !ok {
+		return WalkResult{End: start}
+	}
+	return RandomWalkDirectAt(g, start, cs, exclude, maxLen, seed, stop)
+}
+
+// RandomWalkDirectAt is RandomWalkDirect with the start's slot already
+// resolved; startSlot must be start's live slot.
+func RandomWalkDirectAt(g *graph.Graph, start graph.NodeID, startSlot int32, exclude graph.NodeID, maxLen int, seed uint64, stop func(graph.NodeID, int32) bool) WalkResult {
+	if stop(start, startSlot) {
 		return WalkResult{End: start, Hit: true, Steps: 0}
 	}
-	cur := start
+	cur, cs := start, startSlot
 	state := seed
 	for s := 1; s <= maxLen; s++ {
 		var r uint64
 		state, r = splitmix64(state)
-		next, ok := pickWeighted(g, cur, exclude, r)
+		next, ns, ok := g.RandomNeighborStepAt(cs, exclude, r)
 		if !ok {
 			return WalkResult{End: cur, Hit: false, Steps: s - 1}
 		}
-		cur = next
-		if stop(cur) {
+		cur, cs = next, ns
+		if stop(cur, cs) {
 			return WalkResult{End: cur, Hit: true, Steps: s}
 		}
 	}
@@ -64,12 +81,19 @@ func RandomWalkDirect(g *graph.Graph, start graph.NodeID, exclude graph.NodeID, 
 // program on the engine: one message per step, one activation per round.
 // Intended for the equivalence tests and demonstrations; the churn
 // experiments use RandomWalkDirect.
-func RandomWalkEngine(e *Engine, start graph.NodeID, exclude graph.NodeID, maxLen int, seed uint64, stop func(graph.NodeID) bool) WalkResult {
+func RandomWalkEngine(e *Engine, start graph.NodeID, exclude graph.NodeID, maxLen int, seed uint64, stop func(graph.NodeID, int32) bool) WalkResult {
 	var (
 		mu  sync.Mutex
 		res WalkResult
 	)
 	const tokenKind = "walk"
+	// The engine activates programs by id, so this path re-resolves the
+	// slot per activation; it exists for equivalence tests and demos, not
+	// the recovery hot path.
+	slotOf := func(u graph.NodeID) int32 {
+		s, _ := e.topo.SlotOf(u)
+		return s
+	}
 	prog := func(ctx *Ctx, inbox []Message) {
 		for _, m := range inbox {
 			if m.Kind != tokenKind {
@@ -81,7 +105,7 @@ func RandomWalkEngine(e *Engine, start graph.NodeID, exclude graph.NodeID, maxLe
 			res.End = ctx.ID
 			res.Steps = int(steps)
 			mu.Unlock()
-			if stop(ctx.ID) {
+			if stop(ctx.ID, slotOf(ctx.ID)) {
 				mu.Lock()
 				res.Hit = true
 				mu.Unlock()
@@ -103,7 +127,11 @@ func RandomWalkEngine(e *Engine, start graph.NodeID, exclude graph.NodeID, maxLe
 		}
 	}
 	e.SetUniformProgram(prog)
-	if stop(start) {
+	ss, ok := e.topo.SlotOf(start)
+	if !ok {
+		return WalkResult{End: start}
+	}
+	if stop(start, ss) {
 		return WalkResult{End: start, Hit: true, Steps: 0}
 	}
 	// Bootstrap: the start node behaves as if it received the token with

@@ -15,52 +15,59 @@ import (
 // the commit path revalidates every speculation — so the pool itself is
 // a plain fork-join executor over pure-read walks.
 
-// RandomWalkTraceInto performs exactly the walk RandomWalkDirect would
+// RandomWalkTraceInto performs exactly the walk RandomWalkDirectAt would
 // perform (same choices for the same seed and graph) while appending to
-// buf every node whose state the walk read: the start node and every
-// node the token reached. The trace is what lets a speculative walk be
-// revalidated after earlier commits mutate the graph — a walk whose
-// visited nodes all kept their adjacency rows and predicate inputs
-// unchanged must produce the identical result. buf is reused via
-// buf[:0] by callers; the returned slice aliases it.
-func RandomWalkTraceInto(g *graph.Graph, start graph.NodeID, exclude graph.NodeID, maxLen int, seed uint64, stop func(graph.NodeID) bool, buf []graph.NodeID) (WalkResult, []graph.NodeID) {
-	buf = append(buf, start)
-	if stop(start) {
+// buf the *slot* of every node whose state the walk read: the start node
+// and every node the token reached. The trace is what lets a speculative
+// walk be revalidated after earlier commits mutate the graph — a walk
+// whose visited slots all kept their adjacency rows and predicate inputs
+// unchanged must produce the identical result. Slots are the natural
+// trace currency: revalidation probes slot-stamped spec state directly,
+// and a recycled slot (node removed, slot reused) is exactly the kind of
+// disturbance the revalidator must see. startSlot must be start's live
+// slot. buf is reused via buf[:0] by callers; the returned slice aliases
+// it.
+func RandomWalkTraceInto(g *graph.Graph, start graph.NodeID, startSlot int32, exclude graph.NodeID, maxLen int, seed uint64, stop func(graph.NodeID, int32) bool, buf []int32) (WalkResult, []int32) {
+	buf = append(buf, startSlot)
+	if stop(start, startSlot) {
 		return WalkResult{End: start, Hit: true, Steps: 0}, buf
 	}
-	cur := start
+	cur, cs := start, startSlot
 	state := seed
 	for s := 1; s <= maxLen; s++ {
 		var r uint64
 		state, r = splitmix64(state)
-		next, ok := pickWeighted(g, cur, exclude, r)
+		next, ns, ok := g.RandomNeighborStepAt(cs, exclude, r)
 		if !ok {
 			return WalkResult{End: cur, Hit: false, Steps: s - 1}, buf
 		}
-		cur = next
-		buf = append(buf, cur)
-		if stop(cur) {
+		cur, cs = next, ns
+		buf = append(buf, cs)
+		if stop(cur, cs) {
 			return WalkResult{End: cur, Hit: true, Steps: s}, buf
 		}
 	}
 	return WalkResult{End: cur, Hit: false, Steps: maxLen}, buf
 }
 
-// WalkSpec describes one speculative walk of a batch.
+// WalkSpec describes one speculative walk of a batch. StartSlot must be
+// Start's live slot at batch-build time; the builder resolves it once so
+// the workers never touch the id→slot map.
 type WalkSpec struct {
-	Start   graph.NodeID
-	Exclude graph.NodeID // -1 to disable
-	MaxLen  int
-	Seed    uint64
-	Stop    func(graph.NodeID) bool // must be safe for concurrent pure reads
+	Start     graph.NodeID
+	StartSlot int32
+	Exclude   graph.NodeID // -1 to disable
+	MaxLen    int
+	Seed      uint64
+	Stop      func(graph.NodeID, int32) bool // must be safe for concurrent pure reads
 }
 
 // WalkOutcome is the result of one speculative walk: the outcome plus
-// the visited-node trace used for commit-time revalidation. Visited's
+// the visited-slot trace used for commit-time revalidation. Visited's
 // backing array is owned by the caller and reused across batches.
 type WalkOutcome struct {
 	Res     WalkResult
-	Visited []graph.NodeID
+	Visited []int32
 }
 
 // WalkPool runs batches of independent walks across a fixed set of
@@ -130,7 +137,7 @@ func (b *walkBatch) run() {
 			return
 		}
 		s := b.specs[i]
-		res, vis := RandomWalkTraceInto(b.g, s.Start, s.Exclude, s.MaxLen, s.Seed, s.Stop, b.out[i].Visited[:0])
+		res, vis := RandomWalkTraceInto(b.g, s.Start, s.StartSlot, s.Exclude, s.MaxLen, s.Seed, s.Stop, b.out[i].Visited[:0])
 		b.out[i].Res = res
 		b.out[i].Visited = vis
 		b.wg.Done()

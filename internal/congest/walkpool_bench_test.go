@@ -23,7 +23,7 @@ func BenchmarkWalkBatchPool(b *testing.B) {
 		walkLen = 68 // 4*ceil(log2 n)
 	)
 	g := expanderish(nodes, 9)
-	stop := func(graph.NodeID) bool { return false }
+	stop := func(graph.NodeID, int32) bool { return false }
 	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			p := NewWalkPool(workers)
@@ -33,12 +33,15 @@ func BenchmarkWalkBatchPool(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for j := range specs {
+					start := graph.NodeID((i*batch + j*977) % nodes)
+					slot, _ := g.SlotOf(start)
 					specs[j] = WalkSpec{
-						Start:   graph.NodeID((i*batch + j*977) % nodes),
-						Exclude: -1,
-						MaxLen:  walkLen,
-						Seed:    uint64(i*batch + j),
-						Stop:    stop,
+						Start:     start,
+						StartSlot: slot,
+						Exclude:   -1,
+						MaxLen:    walkLen,
+						Seed:      uint64(i*batch + j),
+						Stop:      stop,
 					}
 				}
 				p.RunBatch(g, specs, outs)

@@ -22,17 +22,21 @@ func TestWalkTraceMatchesDirect(t *testing.T) {
 		seed := rng.Uint64()
 		maxLen := 1 + rng.Intn(24)
 		target := graph.NodeID(rng.Intn(64))
-		stop := func(u graph.NodeID) bool { return u == target }
+		stop := func(u graph.NodeID, _ int32) bool { return u == target }
 		want := RandomWalkDirect(g, start, exclude, maxLen, seed, stop)
-		got, trace := RandomWalkTraceInto(g, start, exclude, maxLen, seed, stop, nil)
+		startSlot, _ := g.SlotOf(start)
+		got, trace := RandomWalkTraceInto(g, start, startSlot, exclude, maxLen, seed, stop, nil)
 		if got != want {
 			t.Fatalf("traced walk diverged: got %+v want %+v", got, want)
 		}
 		if len(trace) != want.Steps+1 {
 			t.Fatalf("trace length %d, want steps+1 = %d", len(trace), want.Steps+1)
 		}
-		if trace[0] != start || trace[len(trace)-1] != want.End {
-			t.Fatalf("trace endpoints %d..%d, want %d..%d", trace[0], trace[len(trace)-1], start, want.End)
+		// The trace carries slots; map the endpoints back to ids.
+		first, _ := g.NodeAt(trace[0])
+		last, _ := g.NodeAt(trace[len(trace)-1])
+		if first != start || last != want.End {
+			t.Fatalf("trace endpoints %d..%d, want %d..%d", first, last, start, want.End)
 		}
 	}
 }
@@ -51,12 +55,15 @@ func TestWalkPoolMatchesSerial(t *testing.T) {
 			specs := make([]WalkSpec, n)
 			for i := range specs {
 				target := graph.NodeID(rng.Intn(128))
+				start := graph.NodeID(rng.Intn(128))
+				startSlot, _ := g.SlotOf(start)
 				specs[i] = WalkSpec{
-					Start:   graph.NodeID(rng.Intn(128)),
-					Exclude: -1,
-					MaxLen:  1 + rng.Intn(30),
-					Seed:    rng.Uint64(),
-					Stop:    func(u graph.NodeID) bool { return u == target },
+					Start:     start,
+					StartSlot: startSlot,
+					Exclude:   -1,
+					MaxLen:    1 + rng.Intn(30),
+					Seed:      rng.Uint64(),
+					Stop:      func(u graph.NodeID, _ int32) bool { return u == target },
 				}
 			}
 			p.RunBatch(g, specs, out[:n])

@@ -19,7 +19,7 @@ func TestWalkFastPathMatchesEngineOnOverlay(t *testing.T) {
 	nw := mustNew(t, 24, DefaultConfig())
 	churnQuiet(t, nw, 60)
 	g := nw.Graph()
-	stop := func(u graph.NodeID) bool { return nw.Load(u) >= 2 }
+	stop := func(u graph.NodeID, _ int32) bool { return nw.Load(u) >= 2 }
 	start := nw.Nodes()[0]
 	for seed := uint64(1); seed <= 30; seed++ {
 		d := congest.RandomWalkDirect(g, start, -1, nw.walkLen(), seed, stop)

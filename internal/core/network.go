@@ -170,15 +170,37 @@ type Network struct {
 	// replaced (inflation/deflation commit) with the new modulus.
 	rebuildObserver func(pNew int64)
 
-	// Steady-state walk predicates, built once: closures capture the
-	// network, per-op parameters flow through stopExclude, so the hot
-	// recovery path allocates no closure per operation. Scratch buffers
+	// Walk stop predicates, built once in initTracking: closures capture
+	// the network, per-op parameters flow through the fields below
+	// (stopExclude, contendU, shedExcl, stagPhase2), so the recovery path
+	// allocates no closure per operation — every predicate the engine ever
+	// hands a walk is one of these. They take (id, slot) pairs straight
+	// from the arena's run cells and read only slot-indexed columns, so
+	// predicate evaluation performs no id→slot map probe. Scratch buffers
 	// for vertexHoldings live here for the same reason.
-	steadyInsertStop func(NodeID) bool
-	steadyLowStop    func(NodeID) bool
-	stopExclude      NodeID
-	holdScratch      []holding
-	vertScratch      []Vertex
+	steadyInsertStop  func(NodeID, int32) bool
+	steadyLowStop     func(NodeID, int32) bool
+	holdNewStop       func(NodeID, int32) bool // staggered new-cycle holding placement
+	inflateP2Stop     func(NodeID, int32) bool // inflate phase 2 holding placement
+	deflateHoldStop   func(NodeID, int32) bool // deflation holding placement
+	stagInsertStop    func(NodeID, int32) bool // insertion donor during a rebuild
+	serialContendStop func(NodeID, int32) bool
+	shedStop          func(NodeID, int32) bool
+	stopExclude       NodeID
+	contendU          NodeID // serialContendStop's excluded contender
+	shedExcl          NodeID // shedStop's excluded overflowing node
+	stagPhase2        bool   // stagInsertStop: rebuild is in phase 2
+	holdScratch       []holding
+	vertScratch       []Vertex
+
+	// Parallel contender rounds need one predicate per window index —
+	// the excluded contender differs per walk and the walks run
+	// concurrently — so the exclusions live struct-of-arrays in
+	// contendExcl and contendStops[j] reads contendExcl[j] at call time.
+	// Both grow to the window cap once and are reused forever.
+	contendExcl  []NodeID
+	contendStops []func(NodeID, int32) bool
+	contendSlots []int32 // eligible contenders' start slots, parallel to eligible
 
 	// Parallel-recovery state (see parallel.go). seedQ/seedHead form the
 	// FIFO that keeps the walk-seed stream identical to the serial
@@ -277,9 +299,46 @@ func (nw *Network) initTracking() {
 		nw.workers = 1
 	}
 	st := &nw.st
-	lowT := 2 * nw.cfg.Zeta
-	nw.steadyInsertStop = func(u NodeID) bool { return u != nw.stopExclude && st.loadOf(u) >= 2 }
-	nw.steadyLowStop = func(u NodeID) bool { return st.loadOf(u) <= lowT }
+	zeta := nw.cfg.Zeta
+	lowT := 2 * zeta
+	nw.steadyInsertStop = func(u NodeID, s int32) bool { return u != nw.stopExclude && st.loadAt(u, s) >= 2 }
+	nw.steadyLowStop = func(u NodeID, s int32) bool { return st.loadAt(u, s) <= lowT }
+	nw.holdNewStop = func(u NodeID, s int32) bool {
+		return st.newLenAt(u, s) < 4*zeta && st.loadAt(u, s) < 8*zeta-1
+	}
+	nw.inflateP2Stop = func(u NodeID, s int32) bool { return st.loadAt(u, s) <= 6*zeta }
+	nw.deflateHoldStop = func(u NodeID, s int32) bool {
+		return st.loadAt(u, s) <= 6*zeta && st.effNewAt(u, s) < 4*zeta
+	}
+	nw.stagInsertStop = func(w NodeID, s int32) bool {
+		if w == nw.stopExclude {
+			return false
+		}
+		if nw.stagPhase2 {
+			return st.newLenAt(w, s) >= 2
+		}
+		if st.newLenAt(w, s) >= 2 {
+			return true
+		}
+		return st.loadAt(w, s) >= 2 && st.unprocOldAt(w, s) >= 1
+	}
+	nw.serialContendStop = func(w NodeID, s int32) bool { return w != nw.contendU && st.newLenAt(w, s) >= 2 }
+	nw.shedStop = func(w NodeID, s int32) bool { return w != nw.shedExcl && st.effNewAt(w, s) < 4*zeta }
+}
+
+// contendStopAt returns the prebuilt predicate for window index j of a
+// parallel contender round; it excludes whatever contendExcl[j] holds
+// when the walk runs. The closure array grows to the window cap once.
+func (nw *Network) contendStopAt(j int) func(NodeID, int32) bool {
+	st := &nw.st
+	for len(nw.contendStops) <= j {
+		k := len(nw.contendStops)
+		nw.contendExcl = append(nw.contendExcl, -1)
+		nw.contendStops = append(nw.contendStops, func(w NodeID, s int32) bool {
+			return w != nw.contendExcl[k] && st.newLenAt(w, s) >= 2
+		})
+	}
+	return nw.contendStops[j]
 }
 
 // --- basic accessors -------------------------------------------------------
@@ -767,9 +826,19 @@ func (nw *Network) SetSeedObserver(f func(seed uint64)) {
 }
 
 // runWalk performs one type-1 token walk on the live overlay and charges
-// its cost.
-func (nw *Network) runWalk(start NodeID, exclude NodeID, stop func(NodeID) bool) congest.WalkResult {
+// its cost. The start's slot is resolved here (the walk's only id→slot
+// probe); callers that already hold it use runWalkAt.
+func (nw *Network) runWalk(start NodeID, exclude NodeID, stop func(NodeID, int32) bool) congest.WalkResult {
 	res := congest.RandomWalkDirect(nw.real, start, exclude, nw.walkLen(), nw.walkSeed(), stop)
+	nw.step.Rounds += res.Steps
+	nw.step.Messages += res.Steps
+	return res
+}
+
+// runWalkAt is runWalk with the start's slot already resolved: the whole
+// walk — stepping, stop predicate, cost charge — touches no id→slot map.
+func (nw *Network) runWalkAt(start NodeID, startSlot int32, exclude NodeID, stop func(NodeID, int32) bool) congest.WalkResult {
+	res := congest.RandomWalkDirectAt(nw.real, start, startSlot, exclude, nw.walkLen(), nw.walkSeed(), stop)
 	nw.step.Rounds += res.Steps
 	nw.step.Messages += res.Steps
 	return res

@@ -4,7 +4,6 @@ import (
 	"runtime"
 
 	"repro/internal/congest"
-	"repro/internal/graph"
 )
 
 // This file parallelizes type-1 recovery. The paper's walks are
@@ -141,9 +140,9 @@ func (nw *Network) runSpecWindow(specs []congest.WalkSpec, outs []congest.WalkOu
 	live := nw.liveIdx[:0]
 	for j := 0; j < n; j++ {
 		s := &specs[j]
-		if s.Stop(s.Start) {
+		if s.Stop(s.Start, s.StartSlot) {
 			outs[j].Res = congest.WalkResult{End: s.Start, Hit: true, Steps: 0}
-			outs[j].Visited = append(outs[j].Visited[:0], s.Start)
+			outs[j].Visited = append(outs[j].Visited[:0], s.StartSlot)
 		} else {
 			live = append(live, j)
 		}
@@ -155,7 +154,7 @@ func (nw *Network) runSpecWindow(specs []congest.WalkSpec, outs []congest.WalkOu
 		for _, j := range live {
 			s := specs[j]
 			outs[j].Res, outs[j].Visited = congest.RandomWalkTraceInto(
-				nw.real, s.Start, s.Exclude, s.MaxLen, s.Seed, s.Stop, outs[j].Visited[:0])
+				nw.real, s.Start, s.StartSlot, s.Exclude, s.MaxLen, s.Seed, s.Stop, outs[j].Visited[:0])
 		}
 	case len(live) == n:
 		nw.walkPool().RunBatch(nw.real, specs, outs)
@@ -185,14 +184,16 @@ func (nw *Network) runSpecWindow(specs []congest.WalkSpec, outs []congest.WalkOu
 func (nw *Network) beginSpecCommits() { nw.st.armSpec() }
 
 // specDisturbed reports whether any node the speculative walk visited
-// was mutated by a commit since the batch was taken. Membership is a
-// stamp comparison per visited node — no map probe, no allocation.
-func (nw *Network) specDisturbed(visited []graph.NodeID) bool {
+// was mutated by a commit since the batch was taken. Traces carry slots,
+// so membership is a raw shard-stamp comparison per visited slot — no
+// id→slot probe, no allocation. (Windows never delete nodes, so every
+// trace slot still names the node the walk saw.)
+func (nw *Network) specDisturbed(visited []int32) bool {
 	if nw.st.specSize() == 0 {
 		return false
 	}
-	for _, u := range visited {
-		if nw.st.specHas(u) {
+	for _, s := range visited {
+		if nw.st.specHasAt(s) {
 			return true
 		}
 	}
@@ -203,14 +204,14 @@ func (nw *Network) specDisturbed(visited []graph.NodeID) bool {
 // uses the speculative result when it is still exactly what the serial
 // path would compute, re-running the walk in place otherwise. Costs are
 // charged identically either way.
-func (nw *Network) firstAttempt(spec *specAttempt, start, exclude NodeID, stop func(NodeID) bool) congest.WalkResult {
+func (nw *Network) firstAttempt(spec *specAttempt, start NodeID, startSlot int32, exclude NodeID, stop func(NodeID, int32) bool) congest.WalkResult {
 	seed := nw.walkSeed()
 	var res congest.WalkResult
 	if seed == spec.seed && spec.epoch == nw.specEpoch && !spec.disturbed && spec.maxLen == nw.walkLen() {
 		res = spec.res
 		nw.specHits++
 	} else {
-		res = congest.RandomWalkDirect(nw.real, start, exclude, nw.walkLen(), seed, stop)
+		res = congest.RandomWalkDirectAt(nw.real, start, startSlot, exclude, nw.walkLen(), seed, stop)
 		nw.specMisses++
 	}
 	nw.step.Rounds += res.Steps
@@ -228,7 +229,7 @@ func (nw *Network) firstAttempt(spec *specAttempt, start, exclude NodeID, stop f
 // serial loop would have shown it. This is where parallelism pays most:
 // when the acceptor set is scarce (rebuild pressure), serial recovery
 // grinds through dozens of full-length walks per displaced vertex.
-func (nw *Network) walkRetryTail(start, exclude, reporter NodeID, stop func(NodeID) bool, attempts int) (congest.WalkResult, bool) {
+func (nw *Network) walkRetryTail(start NodeID, startSlot int32, exclude, reporter NodeID, stop func(NodeID, int32) bool, attempts int) (congest.WalkResult, bool) {
 	var last congest.WalkResult
 	for attempts > 0 {
 		window := attempts
@@ -240,14 +241,14 @@ func (nw *Network) walkRetryTail(start, exclude, reporter NodeID, stop func(Node
 		maxLen := nw.walkLen()
 		specs, outs := nw.tailSlots(window)
 		for j := 0; j < window; j++ {
-			specs[j] = congest.WalkSpec{Start: start, Exclude: exclude, MaxLen: maxLen, Seed: seeds[j], Stop: stop}
+			specs[j] = congest.WalkSpec{Start: start, StartSlot: startSlot, Exclude: exclude, MaxLen: maxLen, Seed: seeds[j], Stop: stop}
 		}
 		nw.runSpecWindow(specs, outs)
 		for j := 0; j < window; j++ {
 			seed := nw.walkSeed()
 			res := outs[j].Res
 			if seed != seeds[j] { // defensive: cannot happen, walks own the seed stream here
-				res = congest.RandomWalkDirect(nw.real, start, exclude, maxLen, seed, stop)
+				res = congest.RandomWalkDirectAt(nw.real, start, startSlot, exclude, maxLen, seed, stop)
 			}
 			nw.tailWalks++
 			nw.step.Rounds += res.Steps
@@ -278,10 +279,13 @@ func (nw *Network) walkRetryTail(start, exclude, reporter NodeID, stop func(Node
 // fans out (the donor predicate is selective early in a deflation
 // phase, so these are the engine's longest walk batches), then commits
 // in serial order — hit moves a spare new vertex, miss re-queues the
-// contender, exactly as contendWalk(u, false) would. Eligibility is
+// contender, exactly as contendWalk(u, false) would. Eligibility (and
+// each contender's start slot, in the parallel slots array) is
 // precomputed by the caller; it cannot change mid-round because donors
-// are never contenders (newCount >= 2 vs == 0).
-func (nw *Network) retryContendersParallel(eligible []NodeID) (still []NodeID) {
+// are never contenders (newCount >= 2 vs == 0). The per-walk exclusions
+// flow struct-of-arrays through contendExcl, read by the per-index
+// prebuilt predicates — a window allocates no closures.
+func (nw *Network) retryContendersParallel(eligible []NodeID, slots []int32) (still []NodeID) {
 	defer nw.st.disarmSpec()
 	idx := 0
 	for idx < len(eligible) {
@@ -290,7 +294,7 @@ func (nw *Network) retryContendersParallel(eligible []NodeID) (still []NodeID) {
 			window = specWindowMax
 		}
 		if window < 2 {
-			if !nw.contendWalk(eligible[idx], false) {
+			if !nw.contendWalk(eligible[idx], slots[idx], false) {
 				still = append(still, eligible[idx])
 			}
 			idx++
@@ -303,12 +307,15 @@ func (nw *Network) retryContendersParallel(eligible []NodeID) (still []NodeID) {
 		specs, outs := nw.specSlots(window)
 		for j := 0; j < window; j++ {
 			u := eligible[idx+j]
+			stop := nw.contendStopAt(j)
+			nw.contendExcl[j] = u
 			specs[j] = congest.WalkSpec{
-				Start:   u,
-				Exclude: -1,
-				MaxLen:  maxLen,
-				Seed:    seeds[j],
-				Stop:    nw.contendStop(u),
+				Start:     u,
+				StartSlot: slots[idx+j],
+				Exclude:   -1,
+				MaxLen:    maxLen,
+				Seed:      seeds[j],
+				Stop:      stop,
 			}
 		}
 		nw.runSpecWindow(specs, outs)
@@ -322,7 +329,7 @@ func (nw *Network) retryContendersParallel(eligible []NodeID) (still []NodeID) {
 				res:       outs[j].Res,
 				disturbed: nw.specDisturbed(outs[j].Visited),
 			}
-			res := nw.firstAttempt(sp, u, -1, nw.contendStop(u))
+			res := nw.firstAttempt(sp, u, slots[idx], -1, nw.contendStop(u))
 			if res.Hit {
 				nw.moveNewVertex(nw.st.newMax(res.End), u)
 			} else {

@@ -337,12 +337,11 @@ func (nw *Network) linkNewEdge(y, t Vertex, owner NodeID, isCycleEdge bool) {
 func (nw *Network) shedNewOverflow(u NodeID) {
 	st := &nw.st
 	zeta4 := 4 * nw.cfg.Zeta
+	nw.shedExcl = u // parameterizes the prebuilt shedStop
 	for st.effNewOf(u) > zeta4 && st.newLen(u) > 1 {
 		placed := false
 		for attempt := 0; attempt < nw.cfg.WalkRetryLimit; attempt++ {
-			res := nw.runWalk(u, -1, func(w NodeID) bool {
-				return w != u && st.effNewOf(w) < zeta4
-			})
+			res := nw.runWalk(u, -1, nw.shedStop)
 			if res.Hit {
 				nw.moveNewVertex(st.newMax(u), res.End)
 				placed = true
@@ -369,23 +368,32 @@ func (nw *Network) retryContenders(force bool) {
 	if len(s.contenders) == 0 {
 		return
 	}
+	// The eligibility scan resolves each survivor's slot exactly once;
+	// eligible ids and slots run struct-of-arrays (contendSlots) so the
+	// parallel window builds its specs — and the serial loop its walks —
+	// with no further map probes. Slots stay valid for the whole round:
+	// contender resolution moves vertices but never deletes nodes.
 	eligible := s.contenders[:0]
+	slots := nw.contendSlots[:0]
 	for _, u := range s.contenders {
-		if !nw.st.has(u) && nw.st.newLen(u) == 0 {
+		sl, ok := nw.real.SlotOf(u)
+		if !ok {
 			continue // node deleted while waiting
 		}
-		if nw.st.newLen(u) > 0 {
+		if nw.st.newLenAt(u, sl) > 0 {
 			continue // received a vertex meanwhile
 		}
 		eligible = append(eligible, u)
+		slots = append(slots, sl)
 	}
+	nw.contendSlots = slots
 	if !force && nw.workers > 1 && len(eligible) > 1 {
-		s.contenders = nw.retryContendersParallel(eligible)
+		s.contenders = nw.retryContendersParallel(eligible, slots)
 		return
 	}
 	var still []NodeID
-	for _, u := range eligible {
-		if nw.contendWalk(u, force) {
+	for i, u := range eligible {
+		if nw.contendWalk(u, slots[i], force) {
 			continue
 		}
 		still = append(still, u)
@@ -397,25 +405,26 @@ func (nw *Network) retryContenders(force bool) {
 }
 
 // contendStop is the contender donor predicate: donors must keep one
-// vertex (the paper's "taken" reservation), hence newCount >= 2. Shared
-// by the serial walk and the parallel speculation so the two paths can
-// never drift. It reads only the store's dense new-count column (or
-// the oracle's map), so pool workers evaluate it without touching any
-// shared engine map.
-func (nw *Network) contendStop(u NodeID) func(NodeID) bool {
-	st := &nw.st
-	return func(w NodeID) bool { return w != u && st.newLen(w) >= 2 }
+// vertex (the paper's "taken" reservation), hence newCount >= 2. The
+// serial variant is prebuilt (serialContendStop, parameterized by
+// nw.contendU); parallel windows use the per-index contendStops so
+// concurrent walks each exclude their own contender. Both read only the
+// store's dense new-count column (or the oracle's map), so pool workers
+// evaluate them without touching any shared engine map.
+func (nw *Network) contendStop(u NodeID) func(NodeID, int32) bool {
+	nw.contendU = u
+	return nw.serialContendStop
 }
 
-// contendWalk tries to fetch a spare new vertex for u.
-func (nw *Network) contendWalk(u NodeID, force bool) bool {
+// contendWalk tries to fetch a spare new vertex for u (at slot su).
+func (nw *Network) contendWalk(u NodeID, su int32, force bool) bool {
 	stop := nw.contendStop(u)
 	attempts := 1
 	if force {
 		attempts = nw.cfg.WalkRetryLimit
 	}
 	for i := 0; i < attempts; i++ {
-		res := nw.runWalk(u, -1, stop)
+		res := nw.runWalkAt(u, su, -1, stop)
 		if res.Hit {
 			nw.moveNewVertex(nw.st.newMax(res.End), u)
 			return true
@@ -515,7 +524,11 @@ func (nw *Network) dropOldVertex(x Vertex) {
 // its last holding. It runs while the node is still connected.
 func (nw *Network) orphanRescue(u NodeID) {
 	nw.orphanRescues++
-	if !nw.contendWalk(u, true) {
+	su, ok := nw.real.SlotOf(u)
+	if !ok {
+		panic("core: orphan rescue for a node without a slot")
+	}
+	if !nw.contendWalk(u, su, true) {
 		panic("core: orphan rescue found no donor")
 	}
 }
@@ -565,24 +578,9 @@ func (nw *Network) commitStagger() {
 
 // --- type-1 predicates and donations while staggering ------------------------
 
-// insertStop is the donor predicate for insertions during a rebuild.
-// Like every walk predicate it reads only slot-indexed columns.
-func (s *stagger) insertStop(nw *Network, id NodeID) func(NodeID) bool {
-	st := &nw.st
-	phase2 := s.phase == 2
-	return func(w NodeID) bool {
-		if w == id {
-			return false
-		}
-		if phase2 {
-			return st.newLen(w) >= 2
-		}
-		if st.newLen(w) >= 2 {
-			return true
-		}
-		return st.loadOf(w) >= 2 && st.unprocOldOf(w) >= 1
-	}
-}
+// The insertion donor predicate during a rebuild is the prebuilt
+// nw.stagInsertStop (see initTracking), parameterized by nw.stopExclude
+// and nw.stagPhase2; nw.insertStop selects and arms it.
 
 // donate transfers one vertex from donor to the freshly inserted id,
 // preferring newly generated vertices (Section 4.4.1: "we can simply

@@ -146,6 +146,16 @@ func (a *vertexArena) alloc(capn int32) (off, got int32) {
 			a.free[class] = fl[:len(fl)-1]
 			got := int32(class * 4)
 			a.freeCells -= int(got)
+			// Split an oversized grant and hand the tail back: without
+			// this, every birth (an 8-cell request, the most frequent
+			// allocation) swallows a whole big-class run, the big
+			// classes starve, and growth requests carve fresh tail
+			// cells forever — measured as ~900B/op of arena growth on
+			// sustained 10^5-node churn windows.
+			if rem := got - capn; rem >= 8 {
+				a.release(off+capn, rem)
+				got = capn
+			}
 			return off, got
 		}
 	}
@@ -235,15 +245,16 @@ func (sh *shard) setAdd(col []vset, i int32, x Vertex) {
 	v.n++
 }
 
-// setRemove deletes x from the run, panicking if absent. Runs are
-// deliberately not shrunk here: a set's capacity is bounded by 4*zeta
-// plus growth slack (a few hundred bytes per node at most), steady
-// churn then moves vertices with zero arena traffic, and the cases
-// where capacity really collapses — rebuild commits and node deaths —
-// release the whole run anyway (promoteNew, slotReleased). Shrinking
-// on removal measured as pure thrash: the release/alloc class churn
-// kept pushing shards over the compaction threshold, costing ~8KB/op
-// of amortized copying on steady 10^5-node churn.
+// setRemove deletes x from the run, panicking if absent. Runs at or
+// below the bigRun class are deliberately not shrunk: a set's steady
+// capacity is bounded by 4*zeta plus growth slack, churn then moves
+// vertices with zero arena traffic, and the cases where capacity
+// really collapses — rebuild commits and node deaths — release the
+// whole run anyway (promoteNew, slotReleased). Unconditional
+// shrink-on-remove measured as pure thrash: the release/alloc class
+// churn kept pushing shards over the compaction threshold, costing
+// ~8KB/op of amortized copying on steady 10^5-node churn. Runs
+// *above* bigRun are the exception — see the snap-back below.
 func (sh *shard) setRemove(col []vset, i int32, x Vertex) {
 	v := &col[i]
 	run := sh.arena.buf[v.off : v.off+v.n]
@@ -256,6 +267,25 @@ func (sh *shard) setRemove(col []vset, i int32, x Vertex) {
 	}
 	copy(run[j:], run[j+1:])
 	v.n--
+	// Snap back over-bigRun runs once the spike decays. Adoption spikes
+	// are transient (Lemma 3), but without this the spiked capacity is
+	// pinned until the node dies: every new spike then carves fresh tail
+	// cells (the spike classes have nothing on their free lists), and
+	// once a shard's spare capacity is gone the append reallocates the
+	// whole ~600KB shard buffer — measured as ~900B/op of amortized heap
+	// growth on sustained 10^5-node churn. The +4 headroom is the
+	// hysteresis: a node oscillating at the class boundary needs 4 adds
+	// to re-grow and 4 removes to re-shrink, so boundary traffic can't
+	// thrash the free lists (plain shrink-on-remove measured that way).
+	// Runs at or below bigRun are left alone, as before.
+	if v.cap > sh.bigRun {
+		if newCap := sh.runCap(v.n + 4); newCap < v.cap {
+			newOff, got := sh.arena.alloc(newCap)
+			copy(sh.arena.buf[newOff:newOff+v.n], sh.arena.buf[v.off:v.off+v.n])
+			sh.arena.release(v.off, v.cap)
+			v.off, v.cap = newOff, got
+		}
+	}
 }
 
 // setReset replaces the run with vs, which must be sorted ascending.
@@ -509,6 +539,18 @@ func (st *state) loadOf(u NodeID) int {
 	return 0
 }
 
+// loadAt is loadOf with u's slot already in hand (walk stop predicates
+// receive (id, slot) pairs straight from the arena's run cells, so the
+// dense branch costs one shard index and zero map probes). s must be u's
+// live slot; the oracle branch keys by id and ignores it.
+func (st *state) loadAt(u NodeID, s int32) int {
+	if m := st.m; m != nil {
+		return m.load[u]
+	}
+	sh, i := st.shardOf(s)
+	return int(sh.load[i])
+}
+
 // putLoadDirty writes u's load and marks u dirty in one slot
 // resolution (the caller has decided the write is a real change).
 func (st *state) putLoadDirty(u NodeID, l int) {
@@ -674,6 +716,23 @@ func (st *state) specHas(u NodeID) bool {
 	return false
 }
 
+// specHasAt is specHas with the slot already in hand: a dense-branch
+// stamp compare with no map probe. Callers pass slots straight out of a
+// walk's visited trace; the oracle branch resolves the id from the slot
+// table (reverse lookups are array reads, not map probes).
+func (st *state) specHasAt(s int32) bool {
+	if m := st.m; m != nil {
+		u, ok := st.g.NodeAt(s)
+		if !ok {
+			return false
+		}
+		_, touched := m.spec[u]
+		return touched
+	}
+	sh, i := st.shardOf(s)
+	return sh.specAt[i] == st.specGen
+}
+
 // --- vertex sets: Sim(u) current-cycle, NewSim(u) next-cycle ----------------
 //
 // One implementation serves both families: nxt selects the dense column
@@ -708,6 +767,15 @@ func (st *state) setLen(u NodeID, nxt bool) int {
 		return int(sh.col(nxt)[i].n)
 	}
 	return 0
+}
+
+// setLenAt is setLen with u's slot already resolved (see loadAt).
+func (st *state) setLenAt(u NodeID, s int32, nxt bool) int {
+	if m := st.m; m != nil {
+		return len(m.sets(nxt)[u])
+	}
+	sh, i := st.shardOf(s)
+	return int(sh.col(nxt)[i].n)
 }
 
 func (st *state) setAdd(u NodeID, x Vertex, nxt bool) {
@@ -851,6 +919,7 @@ func (st *state) simAppend(u NodeID, buf []Vertex) []Vertex {
 
 // NewSim(u) — the next-cycle vertex set while a rebuild is staggered.
 func (st *state) newLen(u NodeID) int                      { return st.setLen(u, true) }
+func (st *state) newLenAt(u NodeID, s int32) int           { return st.setLenAt(u, s, true) }
 func (st *state) newAdd(u NodeID, y Vertex)                { st.setAdd(u, y, true) }
 func (st *state) newRemove(u NodeID, y Vertex)             { st.setRemove(u, y, true) }
 func (st *state) newHas(u NodeID, y Vertex) bool           { return st.setHas(u, y, true) }
@@ -929,6 +998,15 @@ func (st *state) effNewOf(u NodeID) int {
 	return 0
 }
 
+// effNewAt is effNewOf with u's slot already resolved (see loadAt).
+func (st *state) effNewAt(u NodeID, s int32) int {
+	if m := st.m; m != nil {
+		return m.effNew[u]
+	}
+	sh, i := st.shardOf(s)
+	return int(sh.effNew[i])
+}
+
 func (st *state) addEffNew(u NodeID, d int) {
 	if m := st.m; m != nil {
 		m.effNew[u] += d
@@ -948,6 +1026,15 @@ func (st *state) unprocOldOf(u NodeID) int {
 		return int(sh.unprocOld[i])
 	}
 	return 0
+}
+
+// unprocOldAt is unprocOldOf with u's slot already resolved (see loadAt).
+func (st *state) unprocOldAt(u NodeID, s int32) int {
+	if m := st.m; m != nil {
+		return m.unprocOld[u]
+	}
+	sh, i := st.shardOf(s)
+	return int(sh.unprocOld[i])
 }
 
 func (st *state) addUnprocOld(u NodeID, d int) {

@@ -35,8 +35,11 @@ func (nw *Network) Insert(id, attach NodeID) error {
 // misses, the remaining retries fan out in parallel (walkRetryTail).
 func (nw *Network) recoverInsert(id, attach NodeID) {
 	stop := nw.insertStop(id)
+	// attach's slot survives the whole ladder (insertion never deletes
+	// nodes), so one resolution covers every retry and the parallel tail.
+	attachSlot, _ := nw.real.SlotOf(attach)
 	for attempt := 0; attempt < nw.cfg.WalkRetryLimit; attempt++ {
-		res := nw.runWalk(attach, id, stop)
+		res := nw.runWalkAt(attach, attachSlot, id, stop)
 		if res.Hit {
 			nw.donateVertexTo(res.End, id)
 			return
@@ -56,7 +59,7 @@ func (nw *Network) recoverInsert(id, attach NodeID) {
 			if nw.workers > 1 && attempt+1 < nw.cfg.WalkRetryLimit {
 				// The trigger thresholds are frozen until something moves,
 				// so the remaining retries can fan out in parallel.
-				res, hit := nw.walkRetryTail(attach, id, attach, stop, nw.cfg.WalkRetryLimit-attempt-1)
+				res, hit := nw.walkRetryTail(attach, attachSlot, id, attach, stop, nw.cfg.WalkRetryLimit-attempt-1)
 				if hit {
 					nw.donateVertexTo(res.End, id)
 					return
@@ -89,15 +92,18 @@ func (nw *Network) recoverInsert(id, attach NodeID) {
 }
 
 // insertStop returns the walk stop predicate for finding a donor for a
-// newly inserted node. Predicates read only slot-indexed columns, so
-// the parallel walk pool evaluates them without touching a shared map;
-// the steady-state predicate is prebuilt (no per-op closure), with the
-// excluded newborn flowing through nw.stopExclude.
-func (nw *Network) insertStop(id NodeID) func(NodeID) bool {
-	if nw.stag != nil {
-		return nw.stag.insertStop(nw, id)
-	}
+// newly inserted node. Every variant is prebuilt (no per-op closure):
+// the excluded newborn flows through nw.stopExclude, and the rebuild
+// phase through nw.stagPhase2 — both stable for the ladder's duration.
+// Predicates read only slot-indexed columns via the (id, slot) pairs the
+// walk hands them, so the parallel walk pool evaluates them without
+// touching a shared map.
+func (nw *Network) insertStop(id NodeID) func(NodeID, int32) bool {
 	nw.stopExclude = id
+	if nw.stag != nil {
+		nw.stagPhase2 = nw.stag.phase == 2
+		return nw.stagInsertStop
+	}
 	return nw.steadyInsertStop
 }
 
@@ -227,9 +233,12 @@ func (nw *Network) redistributeFrom(v NodeID, orphans []holding) {
 // (the rebuild re-homes every remaining orphan, so the caller stops).
 func (nw *Network) redistributeOne(v NodeID, h holding) bool {
 	stop := nw.holdingStop(h)
+	// v's slot survives the ladder (redistribution moves vertices, never
+	// deletes nodes), so one resolution covers every retry and the tail.
+	vSlot, _ := nw.real.SlotOf(v)
 	placed := false
 	for attempt := 0; attempt < nw.cfg.WalkRetryLimit; attempt++ {
-		res := nw.runWalk(v, -1, stop)
+		res := nw.runWalkAt(v, vSlot, -1, stop)
 		if res.Hit {
 			if res.End != v {
 				nw.moveHolding(h, res.End)
@@ -250,7 +259,7 @@ func (nw *Network) redistributeOne(v NodeID, h holding) bool {
 			if nw.workers > 1 && attempt+1 < nw.cfg.WalkRetryLimit {
 				// The trigger thresholds are frozen until something moves,
 				// so the remaining retries can fan out in parallel.
-				res, hit := nw.walkRetryTail(v, -1, v, stop, nw.cfg.WalkRetryLimit-attempt-1)
+				res, hit := nw.walkRetryTail(v, vSlot, -1, v, stop, nw.cfg.WalkRetryLimit-attempt-1)
 				if hit {
 					if res.End != v {
 						nw.moveHolding(h, res.End)
@@ -296,36 +305,30 @@ func (nw *Network) redistributeOne(v NodeID, h holding) bool {
 // state (Lemma 3(a)), within the 8*zeta union envelope during a rebuild,
 // and - crucially - new-cycle holdings only land where the *new* count
 // stays below 4*zeta, so the bound holds again the moment the rebuild
-// commits (Lemma 9(a) -> Lemma 3(a) handover). Every variant reads only
-// slot-indexed columns (loads, new counts, effNew).
-func (nw *Network) holdingStop(h holding) func(NodeID) bool {
-	zeta := nw.cfg.Zeta
-	st := &nw.st
+// commits (Lemma 9(a) -> Lemma 3(a) handover). Every variant is prebuilt
+// in initTracking and reads only slot-indexed columns (loads, new
+// counts, effNew) through the walk's (id, slot) pairs.
+func (nw *Network) holdingStop(h holding) func(NodeID, int32) bool {
 	s := nw.stag
 	if s == nil {
-		return nw.steadyLowStop // prebuilt: load(u) <= 2*zeta
+		return nw.steadyLowStop // load(u) <= 2*zeta
 	}
 	if h.isNew {
-		return func(u NodeID) bool {
-			return st.newLen(u) < 4*zeta && st.loadOf(u) < 8*zeta-1
-		}
+		return nw.holdNewStop // newLen(u) < 4*zeta && load(u) < 8*zeta-1
 	}
 	if s.dir == inflateDir {
 		if s.phase == 1 {
 			// The paper proves |Low| >= theta*n throughout a staggered
 			// inflation; the standard threshold applies and the cloud
 			// overflow is shed when the vertex is processed.
-			lowT := 2 * zeta
-			return func(u NodeID) bool { return st.loadOf(u) <= lowT }
+			return nw.steadyLowStop
 		}
 		// Inflate phase 2: the old vertex is about to be dropped anyway.
-		return func(u NodeID) bool { return st.loadOf(u) <= 6*zeta }
+		return nw.inflateP2Stop // load(u) <= 6*zeta
 	}
 	// Deflation: an old vertex may carry a dominator, so also require
 	// headroom in the projected new load.
-	return func(u NodeID) bool {
-		return st.loadOf(u) <= 6*zeta && st.effNewOf(u) < 4*zeta
-	}
+	return nw.deflateHoldStop // load(u) <= 6*zeta && effNew(u) < 4*zeta
 }
 
 // afterRecovery performs the end-of-step bookkeeping shared by insert and

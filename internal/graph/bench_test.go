@@ -29,16 +29,22 @@ func contractionShaped(n int, seed int64) *Graph {
 func BenchmarkWalkHop(b *testing.B) {
 	g := contractionShaped(4096, 1)
 	state := uint64(99)
-	cur := NodeID(0)
+	cs, ok := g.SlotOf(0)
+	if !ok {
+		b.Fatal("start node missing")
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		state += 0x9e3779b97f4a7c15
-		next, ok := g.RandomNeighborStep(cur, -1, state)
+		// Slot-native hop, as the recovery walks run it: the start slot is
+		// resolved once and every step yields the next slot, so steady-state
+		// walking never touches the id->slot map.
+		_, next, ok := g.RandomNeighborStepAt(cs, -1, state)
 		if !ok {
 			b.Fatal("walk stuck")
 		}
-		cur = next
+		cs = next
 	}
 }
 

@@ -74,6 +74,34 @@ func diffGraphs(g *Graph, r *Ref) error {
 			return fmt.Errorf("node %d: arena distinct degree %d, ref %d",
 				u, g.DistinctDegree(u), r.DistinctDegree(u))
 		}
+		// Slot-column coherence: every (id, slot) pair the slot-native
+		// iteration yields must agree with the slot table, both ways. This
+		// is the invariant the recovery walks lean on to skip the id->slot
+		// map on every hop.
+		s, ok := g.SlotOf(u)
+		if !ok {
+			return fmt.Errorf("node %d listed but has no slot", u)
+		}
+		if got, live := g.NodeAt(s); !live || got != u {
+			return fmt.Errorf("slot %d of node %d resolves to (%d,%v)", s, u, got, live)
+		}
+		var slotErr error
+		g.ForEachNeighborAt(s, func(v NodeID, vs int32, mult int) bool {
+			if want, live := g.SlotOf(v); !live || vs != want {
+				slotErr = fmt.Errorf("node %d: neighbor %d carries slot %d, table says (%d,%v)",
+					u, v, vs, want, live)
+				return false
+			}
+			if got, live := g.NodeAt(vs); !live || got != v {
+				slotErr = fmt.Errorf("node %d: neighbor slot %d resolves to (%d,%v), want %d",
+					u, vs, got, live, v)
+				return false
+			}
+			return true
+		})
+		if slotErr != nil {
+			return slotErr
+		}
 	}
 	ge, re := g.Edges(), r.Edges()
 	if len(ge) != len(re) {
@@ -119,6 +147,18 @@ func FuzzGraphOps(f *testing.F) {
 
 	f.Add([]byte{4, 0, 0})
 	f.Add([]byte{5, 1, 255, 6, 1, 255, 4, 1, 0})
+
+	// A run long enough to cross findNbr's binary-narrowing threshold,
+	// then membership probes at every position: re-adds (in-place bump)
+	// and removals each depend on the boundary cell being found.
+	star := []byte{}
+	for i := 1; i < idSpace; i++ {
+		star = append(star, 0, 1, byte(i))
+	}
+	for i := 1; i < idSpace; i++ {
+		star = append(star, 0, 1, byte(i), 2, 1, byte(i))
+	}
+	f.Add(star)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g := New()

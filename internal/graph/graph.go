@@ -36,9 +36,13 @@
 // and distinct degrees. Runs grow by power-of-two capacity doubling and
 // freed runs recycle through per-size free lists, so steady-state churn
 // (AddEdge/RemoveEdge at bounded degree) allocates nothing and a node's
-// whole neighborhood sits on one or two cache lines. Walk stepping uses
-// RandomNeighborStep / ForEachNeighbor, which read the run in place and
-// never materialize slices. The previous map-of-maps implementation lives
+// whole neighborhood sits on one or two cache lines. Every run entry also
+// carries the neighbor's own slot (poolS, parallel to the id column), so
+// walk hops and neighbor iteration can hand the caller (id, slot) pairs
+// and slot-indexed side tables are reachable without an id->slot map
+// probe. Walk stepping uses RandomNeighborStepAt / ForEachNeighborAt (or
+// their id-keyed wrappers), which read the run in place and never
+// materialize slices. The previous map-of-maps implementation lives
 // on as Ref (ref.go), the oracle the differential tests check this arena
 // against.
 package graph
@@ -62,9 +66,16 @@ type nodeRec struct {
 }
 
 // Graph is a mutable undirected multigraph backed by a flat adjacency
-// arena. Neighbor ids and multiplicities live in parallel slices (12
-// bytes per distinct neighbor, no struct padding); capacities are
-// multiples of 4 so run rounding wastes at most 3 cells per node.
+// arena. Neighbor ids, multiplicities, and neighbor slots live in
+// parallel slices (16 bytes per distinct neighbor, no struct padding);
+// capacities are multiples of 4 so run rounding wastes at most 3 cells
+// per node.
+//
+// The slot column is coherent by construction: poolS[i] == index[poolV[i]]
+// for every live run cell. A node's edges are all removed before its slot
+// is recycled (RemoveNode strips incident edges first), so no run entry
+// can ever reference a freed slot and recycling needs no rewrite pass —
+// Validate asserts the identity and FuzzGraphOps checks it after every op.
 type Graph struct {
 	index     map[NodeID]int32 // sparse NodeID -> dense slot
 	ids       []NodeID         // slot -> NodeID (stale for free slots)
@@ -72,10 +83,21 @@ type Graph struct {
 	freeSlots []int32          // recycled slots
 	poolV     []NodeID         // neighbor ids, all runs concatenated
 	poolM     []int32          // multiplicities, parallel to poolV
+	poolS     []int32          // neighbor slots, parallel to poolV
 	freeRuns  [][]int32        // freed run offsets, indexed by capacity/4
 	freeCells int              // total cells parked on the free lists
 	edges     int              // number of edges (loops count once)
 	epoch     uint64           // logical version: bumped by every effective mutation
+
+	// One-entry id->slot cache for the mutation path. Churn overwhelmingly
+	// touches the same node in consecutive ops (add-then-remove pairs,
+	// multi-edge inserts at one vertex), and a cached slot skips the map
+	// probe entirely. Valid iff lastSlot >= 0; written only by mutators
+	// (which are externally serialized), invalidated when lastID's slot is
+	// freed in RemoveNode. Read-only methods never write it, so concurrent
+	// readers stay race-free.
+	lastID   NodeID
+	lastSlot int32
 
 	// Slot lifecycle hooks (SetSlotHooks): onSlotAssign fires right after
 	// a slot is bound to a node, onSlotRelease right after a node's slot
@@ -88,7 +110,7 @@ type Graph struct {
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{index: make(map[NodeID]int32)}
+	return &Graph{index: make(map[NodeID]int32), lastSlot: -1}
 }
 
 // Clone returns a deep copy of g.
@@ -100,9 +122,11 @@ func (g *Graph) Clone() *Graph {
 		freeSlots: append([]int32(nil), g.freeSlots...),
 		poolV:     append([]NodeID(nil), g.poolV...),
 		poolM:     append([]int32(nil), g.poolM...),
+		poolS:     append([]int32(nil), g.poolS...),
 		freeCells: g.freeCells,
 		edges:     g.edges,
 		epoch:     g.epoch,
+		lastSlot:  -1,
 	}
 	for u, s := range g.index {
 		c.index[u] = s
@@ -217,21 +241,33 @@ func (g *Graph) slotOf(u NodeID) int32 {
 	return s
 }
 
-// findNbr binary-searches slot s's run for neighbor v, returning the
-// position and whether it was found (the position is the insertion point
-// otherwise).
+// findNbr searches slot s's run for neighbor v, returning the position
+// and whether it was found (the position is the insertion point
+// otherwise). Runs are tiny in the regimes this graph serves (a
+// contraction's distinct degree is O(zeta)), where a branch-predictable
+// linear scan over the sorted cells beats binary search's mispredicted
+// halving; larger runs narrow by binary search first so the scan stays
+// bounded.
 func (g *Graph) findNbr(s int32, v NodeID) (int32, bool) {
 	r := &g.recs[s]
-	lo, hi := r.off, r.off+r.n
-	for lo < hi {
+	run := g.poolV[r.off : r.off+r.n]
+	lo, hi := 0, len(run)
+	for hi-lo > 16 {
 		mid := (lo + hi) / 2
-		if g.poolV[mid] < v {
+		if run[mid] < v {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return lo - r.off, lo < r.off+r.n && g.poolV[lo] == v
+	for ; lo < hi; lo++ {
+		if w := run[lo]; w >= v {
+			return int32(lo), w == v
+		}
+	}
+	// The narrowing loop keeps run[hi] >= v whenever hi < len(run), so a
+	// scan that drains [lo, hi) must still examine the boundary cell.
+	return int32(lo), lo < len(run) && run[lo] == v
 }
 
 // growCap returns the next run capacity after capn: multiples of 4, ~1.5x
@@ -264,7 +300,7 @@ func (g *Graph) allocRun(capn int32) int32 {
 		// loudly beats two runs silently aliasing after a wrap.
 		panic("graph: adjacency pool exceeds the int32 offset domain")
 	}
-	// The two pool slices grow independently (different element sizes mean
+	// The pool slices grow independently (different element sizes mean
 	// different append capacities), so each is extended on its own.
 	if cap(g.poolV) >= want {
 		g.poolV = g.poolV[:want]
@@ -275,6 +311,11 @@ func (g *Graph) allocRun(capn int32) int32 {
 		g.poolM = g.poolM[:want]
 	} else {
 		g.poolM = append(g.poolM, make([]int32, capn)...)
+	}
+	if cap(g.poolS) >= want {
+		g.poolS = g.poolS[:want]
+	} else {
+		g.poolS = append(g.poolS, make([]int32, capn)...)
 	}
 	return int32(off)
 }
@@ -312,6 +353,7 @@ func (g *Graph) maybeCompact() {
 	spare := int(total)/8 + 64
 	newV := make([]NodeID, total, int(total)+spare)
 	newM := make([]int32, total, int(total)+spare)
+	newS := make([]int32, total, int(total)+spare)
 	off := int32(0)
 	for s := range g.recs {
 		r := &g.recs[s]
@@ -323,19 +365,20 @@ func (g *Graph) maybeCompact() {
 		newCap := (r.n + 3) &^ 3
 		copy(newV[off:off+r.n], g.poolV[r.off:r.off+r.n])
 		copy(newM[off:off+r.n], g.poolM[r.off:r.off+r.n])
+		copy(newS[off:off+r.n], g.poolS[r.off:r.off+r.n])
 		r.off, r.cap = off, newCap
 		off += newCap
 	}
-	g.poolV, g.poolM = newV, newM
+	g.poolV, g.poolM, g.poolS = newV, newM, newS
 	for i := range g.freeRuns {
 		g.freeRuns[i] = g.freeRuns[i][:0]
 	}
 	g.freeCells = 0
 }
 
-// insertEntry inserts (v, k) at position pos of slot s's run, growing the
-// run if full.
-func (g *Graph) insertEntry(s int32, pos int32, v NodeID, k int32) {
+// insertEntry inserts neighbor v (slot vs, multiplicity k) at position
+// pos of slot s's run, growing the run if full.
+func (g *Graph) insertEntry(s int32, pos int32, v NodeID, vs int32, k int32) {
 	r := &g.recs[s]
 	if r.n == r.cap {
 		newCap := int32(4)
@@ -345,14 +388,27 @@ func (g *Graph) insertEntry(s int32, pos int32, v NodeID, k int32) {
 		newOff := g.allocRun(newCap)
 		copy(g.poolV[newOff:newOff+r.n], g.poolV[r.off:r.off+r.n])
 		copy(g.poolM[newOff:newOff+r.n], g.poolM[r.off:r.off+r.n])
+		copy(g.poolS[newOff:newOff+r.n], g.poolS[r.off:r.off+r.n])
 		g.freeRun(r.off, r.cap)
 		r.off, r.cap = newOff, newCap
 	}
 	lo, hi := r.off, r.off+r.n
-	copy(g.poolV[lo+pos+1:hi+1], g.poolV[lo+pos:hi])
-	copy(g.poolM[lo+pos+1:hi+1], g.poolM[lo+pos:hi])
+	if hi-(lo+pos) <= 16 {
+		// Short tails dominate (runs are degree-sized); hand-rolled shifts
+		// beat three memmove calls here.
+		for i := hi; i > lo+pos; i-- {
+			g.poolV[i] = g.poolV[i-1]
+			g.poolM[i] = g.poolM[i-1]
+			g.poolS[i] = g.poolS[i-1]
+		}
+	} else {
+		copy(g.poolV[lo+pos+1:hi+1], g.poolV[lo+pos:hi])
+		copy(g.poolM[lo+pos+1:hi+1], g.poolM[lo+pos:hi])
+		copy(g.poolS[lo+pos+1:hi+1], g.poolS[lo+pos:hi])
+	}
 	g.poolV[lo+pos] = v
 	g.poolM[lo+pos] = k
+	g.poolS[lo+pos] = vs
 	r.n++
 	r.deg += k
 	if v != g.ids[s] {
@@ -368,8 +424,17 @@ func (g *Graph) removeEntry(s int32, pos int32) {
 	if g.poolV[lo+pos] != g.ids[s] {
 		r.dist--
 	}
-	copy(g.poolV[lo+pos:hi-1], g.poolV[lo+pos+1:hi])
-	copy(g.poolM[lo+pos:hi-1], g.poolM[lo+pos+1:hi])
+	if hi-(lo+pos) <= 16 {
+		for i := lo + pos; i < hi-1; i++ {
+			g.poolV[i] = g.poolV[i+1]
+			g.poolM[i] = g.poolM[i+1]
+			g.poolS[i] = g.poolS[i+1]
+		}
+	} else {
+		copy(g.poolV[lo+pos:hi-1], g.poolV[lo+pos+1:hi])
+		copy(g.poolM[lo+pos:hi-1], g.poolM[lo+pos+1:hi])
+		copy(g.poolS[lo+pos:hi-1], g.poolS[lo+pos+1:hi])
+	}
 	r.n--
 	if r.cap > 4 && r.n*2 <= r.cap {
 		g.shrinkRun(s)
@@ -397,23 +462,9 @@ func (g *Graph) shrinkRun(s int32) {
 	newOff := g.allocRun(newCap)
 	copy(g.poolV[newOff:newOff+r.n], g.poolV[r.off:r.off+r.n])
 	copy(g.poolM[newOff:newOff+r.n], g.poolM[r.off:r.off+r.n])
+	copy(g.poolS[newOff:newOff+r.n], g.poolS[r.off:r.off+r.n])
 	g.freeRun(r.off, r.cap)
 	r.off, r.cap = newOff, newCap
-}
-
-// addHalf adds k multiplicities of neighbor v to slot s's run.
-func (g *Graph) addHalf(s int32, v NodeID, k int32) {
-	pos, ok := g.findNbr(s, v)
-	if ok {
-		r := &g.recs[s]
-		if g.poolM[r.off+pos] > 1<<30-k {
-			panic(fmt.Sprintf("graph: multiplicity of {%d,%d} exceeds the int32 arena domain", g.ids[s], v))
-		}
-		g.poolM[r.off+pos] += k
-		r.deg += k
-		return
-	}
-	g.insertEntry(s, pos, v, k)
 }
 
 // removeHalf removes k multiplicities of neighbor v from slot s's run; the
@@ -448,13 +499,44 @@ func (g *Graph) AddEdgeMult(u, v NodeID, k int) {
 	if k > 1<<30 {
 		panic(fmt.Sprintf("graph: multiplicity %d exceeds the int32 arena domain", k))
 	}
+	k32 := int32(k)
 	g.maybeCompact()
 	g.epoch++
-	su := g.slotOf(u)
+	su := g.lastSlot
+	if su < 0 || g.lastID != u {
+		su = g.slotOf(u)
+		g.lastID, g.lastSlot = u, su
+	}
+	pos, ok := g.findNbr(su, v)
+	if ok {
+		// Existing pair: the run cell already stores v's slot, so both
+		// halves bump in place with no second map probe (churn hot path).
+		r := &g.recs[su]
+		if g.poolM[r.off+pos] > 1<<30-k32 {
+			panic(fmt.Sprintf("graph: multiplicity of {%d,%d} exceeds the int32 arena domain", u, v))
+		}
+		g.poolM[r.off+pos] += k32
+		r.deg += k32
+		if u != v {
+			sv := g.poolS[r.off+pos]
+			back, ok := g.findNbr(sv, u)
+			if !ok {
+				panic(fmt.Sprintf("graph: asymmetric edge {%d,%d}", u, v))
+			}
+			rv := &g.recs[sv]
+			g.poolM[rv.off+back] += k32
+			rv.deg += k32
+		}
+		g.edges += k
+		return
+	}
+	// New pair: v's slot may not exist yet. slotOf only touches the slot
+	// table, so pos (u's insertion point) stays valid across it.
 	sv := g.slotOf(v)
-	g.addHalf(su, v, int32(k))
+	g.insertEntry(su, pos, v, sv, k32)
 	if u != v {
-		g.addHalf(sv, u, int32(k))
+		back, _ := g.findNbr(sv, u)
+		g.insertEntry(sv, back, u, su, k32)
 	}
 	g.edges += k
 }
@@ -471,9 +553,14 @@ func (g *Graph) RemoveEdgeMult(u, v NodeID, k int) int {
 		return 0
 	}
 	g.maybeCompact()
-	su, ok := g.index[u]
-	if !ok {
-		return 0
+	su := g.lastSlot
+	if su < 0 || g.lastID != u {
+		var ok bool
+		su, ok = g.index[u]
+		if !ok {
+			return 0
+		}
+		g.lastID, g.lastSlot = u, su
 	}
 	pos, ok := g.findNbr(su, v)
 	if !ok {
@@ -484,15 +571,17 @@ func (g *Graph) RemoveEdgeMult(u, v NodeID, k int) int {
 		k = have
 	}
 	g.epoch++
-	// u's entry position is already known; decrement in place instead of
-	// re-searching through removeHalf (this is the churn hot path).
+	// u's entry position is already known, and its cell carries v's slot:
+	// decrement in place and resolve the back half without touching the
+	// id->slot map again (this is the churn hot path).
+	sv := g.poolS[r.off+pos]
 	g.poolM[r.off+pos] -= int32(k)
 	r.deg -= int32(k)
 	if g.poolM[r.off+pos] == 0 {
 		g.removeEntry(su, pos)
 	}
 	if u != v {
-		g.removeHalf(g.index[v], u, int32(k))
+		g.removeHalf(sv, u, int32(k))
 	}
 	g.edges -= k
 	return k
@@ -511,7 +600,7 @@ func (g *Graph) RemoveNode(u NodeID) {
 		v, m := g.poolV[i], g.poolM[i]
 		g.edges -= int(m)
 		if v != u {
-			g.removeHalf(g.index[v], u, m)
+			g.removeHalf(g.poolS[i], u, m)
 		}
 	}
 	r := &g.recs[su]
@@ -519,6 +608,9 @@ func (g *Graph) RemoveNode(u NodeID) {
 	*r = nodeRec{}
 	g.freeSlots = append(g.freeSlots, su)
 	delete(g.index, u)
+	if g.lastID == u {
+		g.lastSlot = -1 // slot freed; a recycled slot must not satisfy a cache hit
+	}
 	if g.onSlotRelease != nil {
 		g.onSlotRelease(u, su)
 	}
@@ -577,6 +669,20 @@ func (g *Graph) ForEachNeighbor(u NodeID, fn func(v NodeID, mult int) bool) {
 	}
 }
 
+// ForEachNeighborAt is the slot-native form of ForEachNeighbor: it
+// iterates the run of the node occupying slot s (which must be live) and
+// hands fn each neighbor's slot alongside its id, so slot-indexed side
+// tables are reachable with no map probe. Same order, same zero-alloc
+// contract.
+func (g *Graph) ForEachNeighborAt(s int32, fn func(v NodeID, vs int32, mult int) bool) {
+	r := g.recs[s]
+	for i := r.off; i < r.off+r.n; i++ {
+		if !fn(g.poolV[i], g.poolS[i], int(g.poolM[i])) {
+			return
+		}
+	}
+}
+
 // RandomNeighborStep picks a neighbor of u proportionally to edge
 // multiplicity using the random word r, excluding the node exclude (pass
 // -1 to disable; self-loops are legitimate steps that stay put). It is the
@@ -584,12 +690,23 @@ func (g *Graph) ForEachNeighbor(u NodeID, fn func(v NodeID, mult int) bool) {
 // a second selects, both over u's contiguous run. Neighbors are considered
 // in ascending NodeID order, so for a given r the choice is identical to
 // the historical sorted-slice implementation — seeded walks reproduce
-// exactly.
+// exactly. Walk loops that already hold the current node's slot should
+// use RandomNeighborStepAt, which skips this id->slot resolution.
 func (g *Graph) RandomNeighborStep(u, exclude NodeID, r uint64) (NodeID, bool) {
 	s, ok := g.index[u]
 	if !ok {
 		return 0, false
 	}
+	v, _, ok := g.RandomNeighborStepAt(s, exclude, r)
+	return v, ok
+}
+
+// RandomNeighborStepAt is the slot-native walk hop: it makes exactly the
+// choice RandomNeighborStep makes for the node occupying slot s (which
+// must be live), and returns the chosen neighbor's slot alongside its id
+// so the walk can keep stepping — and its stop predicate can index
+// slot-keyed state — without ever touching the id->slot map.
+func (g *Graph) RandomNeighborStepAt(s int32, exclude NodeID, r uint64) (NodeID, int32, bool) {
 	rec := g.recs[s]
 	lo, hi := rec.off, rec.off+rec.n
 	total := int32(0)
@@ -600,7 +717,7 @@ func (g *Graph) RandomNeighborStep(u, exclude NodeID, r uint64) (NodeID, bool) {
 		total += g.poolM[i]
 	}
 	if total == 0 {
-		return 0, false
+		return 0, -1, false
 	}
 	pick := int32(r % uint64(total))
 	for i := lo; i < hi; i++ {
@@ -609,10 +726,10 @@ func (g *Graph) RandomNeighborStep(u, exclude NodeID, r uint64) (NodeID, bool) {
 		}
 		pick -= g.poolM[i]
 		if pick < 0 {
-			return g.poolV[i], true
+			return g.poolV[i], g.poolS[i], true
 		}
 	}
-	return 0, false
+	return 0, -1, false
 }
 
 // Nodes returns all node IDs in ascending order.
@@ -941,6 +1058,9 @@ func (g *Graph) Validate() error {
 			}
 			deg += m
 			if v == u {
+				if vs := g.poolS[r.off+i]; vs != s {
+					return fmt.Errorf("graph: self-loop slot cell of %d holds %d, want %d", u, vs, s)
+				}
 				total += 2 * int(m) // count loops once overall
 				continue
 			}
@@ -948,6 +1068,9 @@ func (g *Graph) Validate() error {
 			sv, ok := g.index[v]
 			if !ok {
 				return fmt.Errorf("graph: dangling neighbor %d of %d", v, u)
+			}
+			if vs := g.poolS[r.off+i]; vs != sv {
+				return fmt.Errorf("graph: slot cell for neighbor %d of %d holds %d, want %d", v, u, vs, sv)
 			}
 			pos, ok := g.findNbr(sv, u)
 			if !ok {
@@ -967,6 +1090,38 @@ func (g *Graph) Validate() error {
 	}
 	if total != 2*g.edges {
 		return fmt.Errorf("graph: edge count mismatch: handshake sum %d, 2*edges %d", total, 2*g.edges)
+	}
+	if g.lastSlot >= 0 {
+		if s, ok := g.index[g.lastID]; !ok || s != g.lastSlot {
+			return fmt.Errorf("graph: lookup cache says %d -> slot %d, index disagrees", g.lastID, g.lastSlot)
+		}
+	}
+	// Arena disjointness: live runs and free-list runs must not overlap —
+	// an aliased run would let one node's insert silently rewrite another
+	// node's adjacency.
+	owner := make([]int32, len(g.poolV))
+	for i := range owner {
+		owner[i] = -1
+	}
+	for _, s := range g.index {
+		r := g.recs[s]
+		for i := r.off; i < r.off+r.cap; i++ {
+			if owner[i] != -1 {
+				return fmt.Errorf("graph: cell %d owned by slots %d and %d", i, owner[i], s)
+			}
+			owner[i] = s
+		}
+	}
+	for class, fl := range g.freeRuns {
+		capn := int32(class * 4)
+		for _, off := range fl {
+			for i := off; i < off+capn; i++ {
+				if owner[i] != -1 {
+					return fmt.Errorf("graph: free cell %d (class %d run @%d) owned by slot %d", i, class, off, owner[i])
+				}
+				owner[i] = -2
+			}
+		}
 	}
 	return nil
 }

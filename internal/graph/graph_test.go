@@ -483,3 +483,33 @@ func BenchmarkBFS4096(b *testing.B) {
 		g.BFSDistances(0)
 	}
 }
+
+// TestFindNbrEveryPosition probes membership at every position of runs
+// long enough to cross findNbr's binary-narrowing threshold. The
+// regression this pins: a target sitting exactly on the narrowed upper
+// boundary was reported absent, which let AddEdge duplicate an existing
+// entry and desynchronize the two half-edges.
+func TestFindNbrEveryPosition(t *testing.T) {
+	for _, deg := range []int{1, 15, 16, 17, 18, 33, 40, 100} {
+		g := New()
+		for i := 1; i <= deg; i++ {
+			g.AddEdge(0, NodeID(2*i))
+		}
+		for i := 1; i <= deg; i++ {
+			if !g.HasEdge(0, NodeID(2*i)) {
+				t.Fatalf("deg %d: neighbor %d reported absent", deg, 2*i)
+			}
+			if g.HasEdge(0, NodeID(2*i+1)) {
+				t.Fatalf("deg %d: phantom neighbor %d", deg, 2*i+1)
+			}
+			// Re-adding must bump multiplicity in place, not duplicate the cell.
+			g.AddEdge(0, NodeID(2*i))
+			if got := g.Multiplicity(0, NodeID(2*i)); got != 2 {
+				t.Fatalf("deg %d: multiplicity of %d = %d after re-add", deg, 2*i, got)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("deg %d: %v", deg, err)
+		}
+	}
+}

@@ -118,7 +118,7 @@ func (nw *Network) Insert(id, attach graph.NodeID) error {
 	L := nw.walkLen()
 	for c := 0; c < nw.d; c++ {
 		res := congest.RandomWalkDirect(nw.g, attach, id, L, nw.rng.Uint64(),
-			func(u graph.NodeID) bool { return false })
+			func(graph.NodeID, int32) bool { return false })
 		nw.last.Messages += res.Steps + 2
 		if res.Steps > nw.last.Rounds {
 			nw.last.Rounds = res.Steps // the d walks run in parallel

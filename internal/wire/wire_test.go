@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestRoundTrip drives every primitive through an encode/decode cycle
+// and requires the decoder to land exactly on the end of the stream.
+func TestRoundTrip(t *testing.T) {
+	enc := NewEncoder(nil)
+	enc.Uvarint(0)
+	enc.Uvarint(300)
+	enc.Uvarint(math.MaxUint64)
+	enc.Varint(0)
+	enc.Varint(-1)
+	enc.Varint(math.MinInt64)
+	enc.Varint(math.MaxInt64)
+	enc.U32(0xdeadbeef)
+	enc.U64(0x0123456789abcdef)
+	enc.F64(-math.Pi)
+	enc.Bool(true)
+	enc.Bool(false)
+	enc.Byte(0x7f)
+	enc.Bytes8([]byte("slots"))
+	enc.Bytes8(nil)
+	enc.Raw([]byte{9, 9})
+
+	dec := NewDecoder(enc.Bytes())
+	if got := dec.Uvarint(); got != 0 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := dec.Uvarint(); got != 300 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := dec.Uvarint(); got != math.MaxUint64 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := dec.Varint(); got != 0 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := dec.Varint(); got != -1 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := dec.Varint(); got != math.MinInt64 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := dec.Varint(); got != math.MaxInt64 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := dec.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := dec.U64(); got != 0x0123456789abcdef {
+		t.Fatalf("U64 = %#x", got)
+	}
+	if got := dec.F64(); got != -math.Pi {
+		t.Fatalf("F64 = %v", got)
+	}
+	if !dec.Bool() || dec.Bool() {
+		t.Fatal("Bool round-trip broken")
+	}
+	if got := dec.Byte(); got != 0x7f {
+		t.Fatalf("Byte = %#x", got)
+	}
+	if got := dec.Bytes8(); !bytes.Equal(got, []byte("slots")) {
+		t.Fatalf("Bytes8 = %q", got)
+	}
+	if got := dec.Bytes8(); len(got) != 0 {
+		t.Fatalf("empty Bytes8 = %q", got)
+	}
+	if got := dec.Fixed(2); !bytes.Equal(got, []byte{9, 9}) {
+		t.Fatalf("Fixed = %v", got)
+	}
+	if dec.Err() != nil {
+		t.Fatalf("clean stream errored: %v", dec.Err())
+	}
+	if dec.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", dec.Remaining())
+	}
+}
+
+// TestRoundTripQuick is the property form: arbitrary values survive the
+// varint and fixed-width paths.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(u uint64, v int64, w uint32, b []byte) bool {
+		enc := NewEncoder(nil)
+		enc.Uvarint(u)
+		enc.Varint(v)
+		enc.U32(w)
+		enc.Bytes8(b)
+		dec := NewDecoder(enc.Bytes())
+		return dec.Uvarint() == u && dec.Varint() == v && dec.U32() == w &&
+			bytes.Equal(dec.Bytes8(), b) && dec.Err() == nil && dec.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncated feeds every getter each strict prefix of a valid stream
+// and requires ErrTruncated (never a panic, never a bogus value passed
+// off as clean).
+func TestTruncated(t *testing.T) {
+	full := NewEncoder(nil)
+	full.Uvarint(1 << 40)
+	full.Varint(-(1 << 40))
+	full.U32(7)
+	full.U64(7)
+	full.Bool(true)
+	full.Byte(1)
+	full.Bytes8([]byte("abcdef"))
+	stream := full.Bytes()
+
+	read := func(dec *Decoder) {
+		dec.Uvarint()
+		dec.Varint()
+		dec.U32()
+		dec.U64()
+		dec.Bool()
+		dec.Byte()
+		dec.Bytes8()
+	}
+	for n := 0; n < len(stream); n++ {
+		dec := NewDecoder(stream[:n])
+		read(dec)
+		if !errors.Is(dec.Err(), ErrTruncated) {
+			t.Fatalf("prefix %d/%d: err = %v, want ErrTruncated", n, len(stream), dec.Err())
+		}
+	}
+	dec := NewDecoder(stream)
+	read(dec)
+	if dec.Err() != nil {
+		t.Fatalf("full stream: %v", dec.Err())
+	}
+	if dec.Fixed(1); !errors.Is(dec.Err(), ErrTruncated) {
+		t.Fatalf("Fixed past the end: err = %v", dec.Err())
+	}
+}
+
+// TestBadVarint covers the corrupt-input corpus: 10+ continuation bytes
+// overflow, a length prefix past the input truncates, and a negative
+// Fixed count is rejected.
+func TestBadVarint(t *testing.T) {
+	over := bytes.Repeat([]byte{0xff}, 11) // never terminates within 10 bytes
+	if dec := NewDecoder(over); dec.Uvarint() != 0 || !errors.Is(dec.Err(), ErrOverflow) {
+		t.Fatalf("Uvarint overflow: err = %v", dec.Err())
+	}
+	if dec := NewDecoder(over); dec.Varint() != 0 || !errors.Is(dec.Err(), ErrOverflow) {
+		t.Fatalf("Varint overflow: err = %v", dec.Err())
+	}
+	// Continuation bytes that run off the end of the input truncate.
+	if dec := NewDecoder([]byte{0x80, 0x80}); dec.Uvarint() != 0 || !errors.Is(dec.Err(), ErrTruncated) {
+		t.Fatalf("unterminated Uvarint: err = %v", dec.Err())
+	}
+	// A Bytes8 length prefix larger than the remaining input.
+	enc := NewEncoder(nil)
+	enc.Uvarint(1 << 20)
+	if dec := NewDecoder(enc.Bytes()); dec.Bytes8() != nil || !errors.Is(dec.Err(), ErrTruncated) {
+		t.Fatalf("oversized Bytes8: err = %v", dec.Err())
+	}
+	if dec := NewDecoder([]byte{1, 2, 3}); dec.Fixed(-1) != nil || !errors.Is(dec.Err(), ErrTruncated) {
+		t.Fatalf("negative Fixed: err = %v", dec.Err())
+	}
+}
+
+// TestStickyError: after the first failure every getter returns zero
+// values and the original error survives later, larger failures.
+func TestStickyError(t *testing.T) {
+	dec := NewDecoder(bytes.Repeat([]byte{0xff}, 11))
+	dec.Uvarint()
+	if !errors.Is(dec.Err(), ErrOverflow) {
+		t.Fatalf("err = %v", dec.Err())
+	}
+	if dec.U64() != 0 || dec.Byte() != 0 || dec.Bytes8() != nil || dec.Bool() {
+		t.Fatal("getters returned data after a sticky error")
+	}
+	if !errors.Is(dec.Err(), ErrOverflow) {
+		t.Fatalf("sticky error replaced: %v", dec.Err())
+	}
+}
+
+// TestEncoderReuse: Reset keeps capacity, so the steady-state append
+// path (the WAL hot loop) stops allocating once warm.
+func TestEncoderReuse(t *testing.T) {
+	enc := NewEncoder(nil)
+	warm := func() {
+		enc.Reset()
+		enc.Uvarint(1 << 30)
+		enc.U64(42)
+		enc.Bytes8([]byte("payload"))
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(100, warm); allocs != 0 {
+		t.Fatalf("warm encode allocates %.2f per run, want 0", allocs)
+	}
+	if enc.Len() != len(enc.Bytes()) {
+		t.Fatalf("Len %d != len(Bytes) %d", enc.Len(), len(enc.Bytes()))
+	}
+}
