@@ -37,11 +37,15 @@ bench-graph:
 
 # Engine-state benchmarks + alloc gates: one steady-state recovery op
 # (delete+insert) at 10^5 nodes on the dense slot-indexed store vs the
-# map-store oracle, and the zero-allocation gates on the recovery path
-# and the speculation write-set (mirrors bench-graph one layer up).
+# map-store oracle, the zero-allocation gates on the recovery path and
+# the speculation write-set (mirrors bench-graph one layer up), and the
+# pipelined-façade throughput rows (serialized vs WithPipeline at
+# 1/4/8/16 submitters; dex/pipeline_test.go pins the two modes to
+# byte-identical state, so the delta is pure wall-clock).
 bench-core:
 	$(GO) test ./internal/core -run 'ZeroAllocs' -count 1 -v
 	$(GO) test ./internal/core -run '^$$' -bench RecoveryOp -benchtime 2000x -timeout 20m
+	$(GO) test . -run '^$$' -bench ConcurrentChurn -benchtime 300x -timeout 20m
 
 # Parallel-recovery benchmarks at 1/4/8 walk workers. Seeded runs are
 # byte-identical at every width (enforced by TestParallelMatchesSerial*),
@@ -60,14 +64,19 @@ bench-recovery:
 # binaries concurrently, and the contention skews the gated
 # RecoveryOp row by 20%+. The graph rows use a 2M-iteration window
 # (at ~200ns/op, 100000x is a 20ms sample and pure scheduler noise),
-# and every gated row is the fastest of 3 reruns — benchjson keeps the
-# minimum per name, the noise-robust statistic on a host with steal.
+# and every gated row is the fastest of several reruns — benchjson
+# keeps the minimum per name, the noise-robust statistic on a host with
+# steal (the recovery-op row takes 6: measured steal bursts run 2-3
+# samples long, so 3 reruns can miss the floor entirely).
 bench-json:
 	$(GO) test ./internal/core -run '^$$' \
-		-bench 'RecoveryOp/dense' -benchtime 200x -benchmem -count 3 -timeout 20m \
+		-bench 'RecoveryOp/dense' -benchtime 200x -benchmem -count 6 -timeout 20m \
 		| $(GO) run ./cmd/benchjson > BENCH_core.json
 	$(GO) test ./internal/persist -run '^$$' \
 		-bench 'WALAppend|Checkpoint' -benchtime 200x -benchmem -timeout 20m \
+		| $(GO) run ./cmd/benchjson -append BENCH_core.json
+	$(GO) test . -run '^$$' \
+		-bench 'ConcurrentChurn' -benchtime 300x -benchmem -timeout 20m \
 		| $(GO) run ./cmd/benchjson -append BENCH_core.json
 	$(GO) test ./internal/graph -run '^$$' \
 		-bench 'WalkHop|GraphChurn' -benchtime 2000000x -benchmem -count 3 \
@@ -79,10 +88,13 @@ bench-json:
 # rows are report-only (runner noise makes a blanket hard gate hostile).
 bench-diff:
 	$(GO) test ./internal/core -run '^$$' \
-		-bench 'RecoveryOp/dense' -benchtime 200x -benchmem -count 3 -timeout 20m \
+		-bench 'RecoveryOp/dense' -benchtime 200x -benchmem -count 6 -timeout 20m \
 		| $(GO) run ./cmd/benchjson > /tmp/bench_core_fresh.json
 	$(GO) test ./internal/persist -run '^$$' \
 		-bench 'WALAppend|Checkpoint' -benchtime 200x -benchmem -timeout 20m \
+		| $(GO) run ./cmd/benchjson -append /tmp/bench_core_fresh.json
+	$(GO) test . -run '^$$' \
+		-bench 'ConcurrentChurn' -benchtime 300x -benchmem -timeout 20m \
 		| $(GO) run ./cmd/benchjson -append /tmp/bench_core_fresh.json
 	$(GO) test ./internal/graph -run '^$$' \
 		-bench 'WalkHop|GraphChurn' -benchtime 2000000x -benchmem -count 3 \
@@ -98,8 +110,12 @@ bench-diff:
 # mutation sequences against the map-of-maps Ref oracle (swap-safety for
 # the flat adjacency arena); FuzzCrashRecovery kills persistent runs at
 # arbitrary points (including torn/corrupted WAL tails) and demands the
-# recovered network match a fresh oracle run of the surviving prefix.
-fuzz: fuzz-churn fuzz-graph fuzz-crash
+# recovered network match a fresh oracle run of the surviving prefix;
+# FuzzPipelineSchedule churns the pipelined scheduler from concurrent
+# submitters (a header bit forces overlapping footprints so the
+# retry/drain path sees traffic) and replays every admitted schedule
+# against the serial façade as the linearizability oracle.
+fuzz: fuzz-churn fuzz-graph fuzz-crash fuzz-pipeline
 
 fuzz-churn:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzChurnTrace -fuzztime $(FUZZTIME)
@@ -109,6 +125,9 @@ fuzz-graph:
 
 fuzz-crash:
 	$(GO) test ./internal/persist -run '^$$' -fuzz FuzzCrashRecovery -fuzztime $(FUZZTIME)
+
+fuzz-pipeline:
+	$(GO) test ./dex -run '^$$' -fuzz FuzzPipelineSchedule -fuzztime $(FUZZTIME)
 
 sim:
 	$(GO) run ./cmd/dexsim -n0 128 -steps 1000 -adversary random -gap-every 100

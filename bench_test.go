@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/dex"
@@ -380,6 +381,78 @@ func BenchmarkRecoveryParallel(b *testing.B) {
 				b.ReportMetric(float64(tail)/float64(b.N), "tail-walks/op")
 			}
 		})
+	}
+}
+
+// --- PIPE: pipelined façade throughput -------------------------------------------------
+//
+// BenchmarkConcurrentChurn prices the tentpole: c submitter goroutines
+// drive non-overlapping insert/delete churn (each owns a private id
+// range anchored in its own region of the initial network) through the
+// Concurrent façade, serialized versus pipelined (WithPipeline). One
+// benchmark iteration is one insert+delete pair, so ns/op is directly
+// comparable across the two modes; the pipelined rows should pull ahead
+// as c grows because window speculation runs the insert walks and the
+// deferred sampled audits fan out across the worker pool while commits
+// stay serial. The lockstep oracle tests in dex/pipeline_test.go pin
+// the two modes to byte-identical state, so the delta here is pure
+// wall-clock.
+
+const pipeBenchN0 = 4096
+
+func benchConcurrentChurn(b *testing.B, submitters int, pipelined bool) {
+	opts := []dex.Option{
+		dex.WithInitialSize(pipeBenchN0),
+		dex.WithSeed(29),
+		dex.WithWorkers(8),
+		dex.WithAuditMode(dex.AuditSampled),
+	}
+	if pipelined {
+		opts = append(opts, dex.WithPipeline(2*submitters))
+	}
+	c, err := dex.NewConcurrent(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	per := (b.N + submitters - 1) / submitters
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			anchor := dex.NodeID(g * (pipeBenchN0 / submitters))
+			for i := 0; i < per; i++ {
+				id := dex.NodeID(1_000_000*(g+1) + i)
+				if err := c.Insert(id, anchor); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := c.Delete(id); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if pipelined {
+		hits, misses, _ := c.PipelineStats()
+		if total := hits + misses; total > 0 {
+			b.ReportMetric(float64(hits)/float64(total), "spec-hit-rate")
+		}
+	}
+}
+
+func BenchmarkConcurrentChurn(b *testing.B) {
+	for _, mode := range []string{"serialized", "pipelined"} {
+		for _, subs := range []int{1, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/c=%d", mode, subs), func(b *testing.B) {
+				benchConcurrentChurn(b, subs, mode == "pipelined")
+			})
+		}
 	}
 }
 

@@ -36,6 +36,12 @@ import (
 // each individual operation remains the paper's algorithm, and a
 // single-caller Concurrent with a fixed seed reproduces the plain
 // Network byte for byte.
+//
+// WithPipeline adds a third axis: operations from concurrent callers
+// are admitted in windows whose insert walks are speculated and whose
+// sampled audits are verified in parallel, while the commits themselves
+// stay strictly serial (see dex/pipeline.go). State remains
+// byte-identical to the serialized façade for the same admitted order.
 type Concurrent struct {
 	mu  sync.Mutex
 	nw  *Network
@@ -45,12 +51,16 @@ type Concurrent struct {
 	done          chan struct{} // dispatcher exit signal
 	dispatcherGid atomic.Uint64 // goroutine id of the dispatcher (async mode)
 
+	sched *pipeScheduler // non-nil under WithPipeline
+
 	subMu    sync.Mutex
 	subs     []subscriber
 	subsSnap []subscriber
 	nextSub  int
 
-	closed bool
+	closed    bool
+	closeDone chan struct{} // closed once the first Close has fully torn down
+	closeErr  error         // the first Close's result; valid after closeDone
 }
 
 // NewConcurrent builds a Network wrapped in a Concurrent façade. It
@@ -73,13 +83,19 @@ func NewConcurrent(opts ...Option) (*Concurrent, error) {
 		nw: nw,
 		// The sampling stream is deliberately decoupled from the engine
 		// seed so Sample calls never perturb seeded recovery runs.
-		rng: rand.New(rand.NewSource(o.cfg.Seed ^ 0x5a3c_f00d)),
+		rng:       rand.New(rand.NewSource(o.cfg.Seed ^ 0x5a3c_f00d)),
+		closeDone: make(chan struct{}),
 	}
 	nw.Subscribe(c.forward)
 	if o.asyncBuf >= 0 {
 		c.evq = newEventQueue(o.asyncBuf)
 		c.done = make(chan struct{})
 		go c.dispatch()
+	}
+	if o.pipeDepth > 0 {
+		nw.deferAudit = true
+		c.sched = newPipeScheduler(c, o.pipeDepth)
+		go c.sched.run()
 	}
 	return c, nil
 }
@@ -243,8 +259,12 @@ func (c *Concurrent) Subscribers() int {
 	return len(c.subs)
 }
 
-// op wraps one mutating call.
+// op wraps one mutating call; under WithPipeline it routes through the
+// admission queue so every mutation commits in ticket order.
 func (c *Concurrent) op(f func(*Network) error) error {
+	if c.sched != nil {
+		return c.sched.submit(&pipeReq{kind: reqOther, fn: f})
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -255,21 +275,49 @@ func (c *Concurrent) op(f func(*Network) error) error {
 
 // Insert adds node id attached at node attach and runs recovery.
 func (c *Concurrent) Insert(id, attach NodeID) error {
+	if c.sched != nil {
+		return c.sched.submit(&pipeReq{
+			kind: reqInsert, id: id, attach: attach,
+			fn:  func(nw *Network) error { return nw.Insert(id, attach) },
+			rec: &AdmittedOp{Kind: OpInsert, ID: id, Attach: attach},
+		})
+	}
 	return c.op(func(nw *Network) error { return nw.Insert(id, attach) })
 }
 
 // Delete removes node id and runs recovery.
 func (c *Concurrent) Delete(id NodeID) error {
+	if c.sched != nil {
+		return c.sched.submit(&pipeReq{
+			kind: reqDelete, id: id,
+			fn:  func(nw *Network) error { return nw.Delete(id) },
+			rec: &AdmittedOp{Kind: OpDelete, ID: id},
+		})
+	}
 	return c.op(func(nw *Network) error { return nw.Delete(id) })
 }
 
 // InsertBatch performs one adversarial step inserting all specs at once.
 func (c *Concurrent) InsertBatch(specs []InsertSpec) error {
+	if c.sched != nil {
+		return c.sched.submit(&pipeReq{
+			kind: reqOther,
+			fn:   func(nw *Network) error { return nw.InsertBatch(specs) },
+			rec:  &AdmittedOp{Kind: OpBatchInsert, Specs: append([]InsertSpec(nil), specs...)},
+		})
+	}
 	return c.op(func(nw *Network) error { return nw.InsertBatch(specs) })
 }
 
 // DeleteBatch performs one adversarial step deleting all ids at once.
 func (c *Concurrent) DeleteBatch(ids []NodeID) error {
+	if c.sched != nil {
+		return c.sched.submit(&pipeReq{
+			kind: reqOther,
+			fn:   func(nw *Network) error { return nw.DeleteBatch(ids) },
+			rec:  &AdmittedOp{Kind: OpBatchDelete, IDs: append([]NodeID(nil), ids...)},
+		})
+	}
 	return c.op(func(nw *Network) error { return nw.DeleteBatch(ids) })
 }
 
@@ -387,32 +435,55 @@ func (c *Concurrent) Audit(mode AuditMode) error {
 }
 
 // Close shuts the façade down: subsequent mutating operations return
-// ErrClosed, every event already published is delivered (the async
+// ErrClosed, the pipelined scheduler (if any) commits its already-queued
+// tail and exits, every event already published is delivered (the async
 // queue is drained in order) before Close returns, and the WithWorkers
-// pool is released. Idempotent, and a late duplicate Close also waits
-// for the drain, so no caller can observe Close-returned while
-// callbacks are still running. One exception, by necessity: a Close
-// issued from inside a subscriber callback (on the dispatcher
-// goroutine) cannot wait for its own goroutine to finish draining —
-// it initiates shutdown and returns; the dispatcher still delivers
+// pool and WAL (WithPersistence) are released — in that order, so no
+// WAL append can land after Close returns. Idempotent, and a late
+// duplicate Close waits for the winning Close to finish the whole
+// teardown (drain included) and returns its result, so no caller can
+// observe Close-returned while callbacks are still running or the WAL
+// is still open. One exception, by necessity: a Close issued from
+// inside a subscriber callback (on the dispatcher goroutine) cannot
+// wait for its own goroutine to finish draining — it initiates (or
+// observes) shutdown and returns nil; the dispatcher still delivers
 // everything already queued after the callback returns.
 func (c *Concurrent) Close() error {
 	c.mu.Lock()
 	already := c.closed
 	c.closed = true
 	c.mu.Unlock()
-	if c.evq != nil {
-		if !already {
-			c.evq.close()
+	onDispatcher := c.evq != nil && goid() == c.dispatcherGid.Load()
+	if already {
+		if onDispatcher {
+			return nil
 		}
-		if goid() != c.dispatcherGid.Load() {
+		if c.evq != nil {
+			<-c.done
+		}
+		<-c.closeDone
+		return c.closeErr
+	}
+	// Stop the scheduler before closing the event queue: its queued tail
+	// still commits and publishes. stop returns the sticky deferred-audit
+	// error after the final flush.
+	var auditErr error
+	if c.sched != nil {
+		auditErr = c.sched.stop()
+	}
+	if c.evq != nil {
+		c.evq.close()
+		if !onDispatcher {
 			<-c.done
 		}
 	}
-	if already {
-		return nil
+	err := c.nw.Close()
+	if err == nil {
+		err = auditErr
 	}
-	return c.nw.Close()
+	c.closeErr = err
+	close(c.closeDone)
+	return err
 }
 
 // locked runs a read accessor under the façade lock.

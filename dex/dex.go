@@ -138,6 +138,11 @@ type Network struct {
 	nextSub  int
 	inOp     bool // a mutating operation (and its event deliveries) is in flight
 
+	// deferAudit is set by the pipelined façade (WithPipeline): with
+	// AuditSampled, afterOp skips the inline audit and the scheduler
+	// captures + verifies the targets one window later instead.
+	deferAudit bool
+
 	// Durability (WithPersistence); nil/empty otherwise. seedBuf
 	// captures the walk seeds each operation consumes, rec is the
 	// reused WAL record — both so steady-state commits allocate
@@ -173,6 +178,9 @@ func New(opts ...Option) (*Network, error) {
 	}
 	if o.err == nil && o.asyncBuf >= 0 {
 		o.err = errors.New("dex: WithAsyncEvents requires NewConcurrent")
+	}
+	if o.err == nil && o.pipeDepth > 0 {
+		o.err = errors.New("dex: WithPipeline requires NewConcurrent")
 	}
 	if o.err != nil {
 		return nil, o.err
@@ -236,6 +244,12 @@ func (nw *Network) afterOp() error {
 	}
 	if st.StaggerFinished {
 		nw.publish(StaggerFinished{Step: st.Step, N: st.N, P: st.P})
+	}
+	if nw.deferAudit && nw.audit == AuditSampled {
+		// Pipelined façade: the scheduler captures this op's sampled-audit
+		// targets right after it commits and verifies them, fanned across
+		// the worker pool, during the next window (dex/pipeline.go).
+		return nil
 	}
 	if err := nw.eng.Audit(nw.audit); err != nil {
 		return fmt.Errorf("dex: %s audit after %s: %w", nw.audit, st.Op, err)

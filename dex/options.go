@@ -46,6 +46,7 @@ type options struct {
 	audit       AuditMode
 	edgeEvents  bool
 	asyncBuf    int // WithAsyncEvents buffer; -1 = sync (NewConcurrent only)
+	pipeDepth   int // WithPipeline window depth; 0 = serialized (NewConcurrent only)
 	persistDir  string
 	popt        persist.Options
 	err         error

@@ -136,11 +136,20 @@ func (nw *Network) commitPersist(op core.OpKind, id, attach NodeID, inserts []In
 // Checkpoint forces a durable checkpoint of the current state right
 // now (one is also taken automatically every WithCheckpointEvery
 // operations and on Close-preceding flushes). Returns
-// ErrNotPersistent without WithPersistence.
+// ErrNotPersistent without WithPersistence, and ErrReentrantOp when
+// called from an event callback: a checkpoint taken mid-operation
+// would snapshot half-applied recovery state into the WAL, exactly the
+// hazard the mutator guards exist for. (The automatic cadenced
+// checkpoint is unaffected — it runs at commit time, after the
+// operation's state is fully applied.)
 func (nw *Network) Checkpoint() error {
 	if nw.log == nil {
 		return ErrNotPersistent
 	}
+	if err := nw.enterOp(); err != nil {
+		return err
+	}
+	defer nw.exitOp()
 	return nw.log.Checkpoint(nw.eng)
 }
 

@@ -1,0 +1,106 @@
+package dex_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/dex"
+)
+
+// TestCloseRacesPersistentCheckpoint: a persistent Concurrent façade
+// with churn, explicit Checkpoint calls, and LastRoot readers all in
+// flight when Close fires — including two racing Closes. The contract
+// under test: every Checkpoint either completes before Close or is
+// rejected whole with ErrClosed; whichever Close call returns first,
+// the WAL is already flushed and closed when it does (a duplicate Close
+// waits for the winner's teardown instead of returning early), so the
+// directory can be reopened immediately; and the reopened network
+// resumes at exactly the step count the closed façade froze — no WAL
+// append landed after Close returned.
+func TestCloseRacesPersistentCheckpoint(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		dir := t.TempDir()
+		c, err := dex.NewConcurrent(
+			dex.WithInitialSize(24),
+			dex.WithSeed(int64(110+round)),
+			dex.WithPersistence(dir),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var completed atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					err := c.Insert(c.FreshID(), c.Sample())
+					switch {
+					case err == nil:
+						completed.Add(1)
+					case errors.Is(err, dex.ErrClosed):
+						return
+					case errors.Is(err, dex.ErrUnknownNode):
+						// peer churn raced the sample; legal
+					default:
+						t.Errorf("insert: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if err := c.Checkpoint(); err != nil {
+						if !errors.Is(err, dex.ErrClosed) {
+							t.Errorf("checkpoint: %v", err)
+						}
+						return
+					}
+					_, _ = c.LastRoot()
+				}
+			}()
+		}
+		for completed.Load() < 16 {
+			time.Sleep(50 * time.Microsecond)
+		}
+
+		// Two Closes race; the first to return hands its result to main,
+		// which immediately reopens the directory. Close's contract makes
+		// that safe: by the time ANY Close returns, the WAL is flushed and
+		// released.
+		closeRet := make(chan error, 2)
+		for i := 0; i < 2; i++ {
+			go func() { closeRet <- c.Close() }()
+		}
+		if err := <-closeRet; err != nil {
+			t.Fatalf("round %d: first Close returned %v", round, err)
+		}
+		frozen := c.Totals().Steps
+
+		re, err := dex.New(dex.WithSeed(int64(110+round)), dex.WithPersistence(dir))
+		if err != nil {
+			t.Fatalf("round %d: reopen right after first Close returned: %v", round, err)
+		}
+		if got := re.Totals().Steps; got != frozen {
+			t.Fatalf("round %d: reopened at step %d, façade froze at %d — a WAL append landed after Close returned", round, got, frozen)
+		}
+		if err := re.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: reopened state unsound: %v", round, err)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-closeRet; err != nil {
+			t.Fatalf("round %d: second Close returned %v", round, err)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,347 @@
+package dex
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// This file turns the Concurrent façade into a pipelined scheduler
+// (WithPipeline). The paper's Lemma 2 makes recovery node-local in
+// expectation — steady-state repairs touch O(1) nodes around the attach
+// point — so operations submitted by independent goroutines overwhelmingly
+// have disjoint footprints, and serializing them under one mutex wastes
+// exactly the parallelism the locality guarantee licenses.
+//
+// Admission works in windows. Submitters enqueue operations and block on
+// a per-request reply; a dedicated scheduler goroutine repeatedly takes a
+// window of queued operations (up to the configured depth) and, holding
+// the façade lock for the whole window:
+//
+//   - Phase A (engine quiescent): verifies the previous window's deferred
+//     sampled-audit targets, fanned across the engine's worker pool, and
+//     speculates every admitted insert's first-attempt walk concurrently
+//     against the current overlay (core.SpeculateInserts), predicting each
+//     op's walk seed (serial FIFO offset) and walk length (network size at
+//     execution).
+//   - Phase B: commits the window strictly in admission (ticket) order
+//     through the ordinary serial entry points, injecting each insert's
+//     speculation just before it runs. The engine's epoch-stamped
+//     pipeline write-set (core.ArmPipeline) records every slot the
+//     window's commits touch; an op whose speculative walk crossed a
+//     touched slot is "disturbed" — its speculation is discarded and the
+//     walk re-runs serially with the same seed, which is precisely what
+//     draining it through the serial path means. Conflicts therefore cost
+//     wall-clock, never correctness.
+//
+// Because commits are serial and seeds flow through the PR 4 FIFO, a
+// pipelined run's History, mapping, and overlay are byte-identical to a
+// serialized run of the same admitted schedule — the lockstep oracle in
+// pipeline_test.go replays every admitted schedule against a plain
+// serial Network and asserts exactly that.
+
+// pipeReq kinds: single inserts are speculation-eligible, single deletes
+// have a predictable seed footprint, everything else (batches, Do,
+// Checkpoint, explicit audits) is opaque — it commits serially and stops
+// seed-offset prediction for the rest of its window.
+const (
+	reqInsert = iota
+	reqDelete
+	reqOther
+)
+
+// pipeReq is one submitted operation waiting in the scheduler's queue.
+type pipeReq struct {
+	kind       int
+	id, attach NodeID
+	fn         func(*Network) error
+	rec        *AdmittedOp           // reported to the admission observer on success
+	spec       *core.PipelinedInsert // filled during Phase A for speculated inserts
+	errc       chan error
+}
+
+// AdmittedOp describes one successfully committed churn operation in
+// admission order. The sequence of AdmittedOps fully determines the
+// engine state: replaying it through a serial façade with the same seed
+// reproduces History, mapping, and overlay byte for byte (the lockstep
+// oracle relies on this).
+type AdmittedOp struct {
+	Kind   OpKind
+	ID     NodeID
+	Attach NodeID
+	Specs  []InsertSpec // batch inserts (copied)
+	IDs    []NodeID     // batch deletes (copied)
+}
+
+// pipeScheduler owns the admission queue and the window loop.
+type pipeScheduler struct {
+	c     *Concurrent
+	depth int
+
+	mu     sync.Mutex
+	cond   sync.Cond
+	queue  []*pipeReq
+	closed bool
+	done   chan struct{}
+
+	observer func(AdmittedOp)
+
+	// Window scratch, reused across windows.
+	batch    []*pipeReq
+	carriers []*core.PipelinedInsert
+	offsets  []int
+	winIns   []NodeID // ids inserted earlier in the current window
+
+	// Deferred sampled-audit state: targets captured after each commit
+	// of window W are verified (in parallel) during window W+1's Phase A.
+	// A failure is sticky — it fails every later mutating op and Close —
+	// because the state corruption it witnessed does not go away.
+	auditPending []NodeID
+	auditErr     error
+}
+
+func newPipeScheduler(c *Concurrent, depth int) *pipeScheduler {
+	s := &pipeScheduler{c: c, depth: depth, done: make(chan struct{})}
+	s.cond.L = &s.mu
+	return s
+}
+
+// submit enqueues one request and blocks until its window commits it.
+func (s *pipeScheduler) submit(r *pipeReq) error {
+	r.errc = make(chan error, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.queue = append(s.queue, r)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return <-r.errc
+}
+
+// take blocks for the next window: up to depth queued requests in
+// admission order, or nil once the queue is closed and drained.
+func (s *pipeScheduler) take() []*pipeReq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	n := len(s.queue)
+	if n == 0 {
+		return nil
+	}
+	if n > s.depth {
+		n = s.depth
+	}
+	s.batch = append(s.batch[:0], s.queue[:n]...)
+	rest := copy(s.queue, s.queue[n:])
+	clear(s.queue[rest:])
+	s.queue = s.queue[:rest]
+	return s.batch
+}
+
+// run is the scheduler goroutine: window loop until closed and drained,
+// then the final deferred-audit flush.
+func (s *pipeScheduler) run() {
+	for {
+		batch := s.take()
+		if batch == nil {
+			break
+		}
+		s.window(batch)
+	}
+	s.c.mu.Lock()
+	s.flushAudit()
+	s.c.mu.Unlock()
+	close(s.done)
+}
+
+// stop rejects new submissions, lets the already-queued tail drain, and
+// waits for the scheduler to exit. Returns the sticky deferred-audit
+// error, if any (the final flush has run by then).
+func (s *pipeScheduler) stop() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Signal()
+	<-s.done
+	return s.auditErr
+}
+
+// flushAudit verifies the pending deferred-audit targets. Caller holds
+// the façade lock (engine quiescent).
+func (s *pipeScheduler) flushAudit() {
+	if s.auditErr != nil || len(s.auditPending) == 0 {
+		s.auditPending = s.auditPending[:0]
+		return
+	}
+	eng := s.c.nw.eng
+	err := eng.AuditPrelude()
+	if err == nil {
+		err = eng.CheckNodesParallel(s.auditPending)
+	}
+	if err != nil {
+		s.auditErr = fmt.Errorf("dex: deferred sampled audit: %w", err)
+	}
+	s.auditPending = s.auditPending[:0]
+}
+
+// speculate is Phase A's second half: predict each admitted insert's
+// seed (FIFO offset), walk length (size at execution), and run the
+// first-attempt walks concurrently. Prediction walks the window in
+// ticket order — an insert consumes one seed, a delete one per
+// redistributed vertex (its current load), anything else an unknowable
+// number, which ends prediction for the rest of the window. Every
+// prediction is revalidated at commit time, so a miss (an insert that
+// retried, a delete that redistributed through retries, a mid-window
+// rebuild) costs one discarded speculation, never correctness.
+func (s *pipeScheduler) speculate(batch []*pipeReq) {
+	eng := s.c.nw.eng
+	nPred := eng.Size()
+	offset, known := 0, true
+	ins := 0
+	s.offsets = s.offsets[:0]
+	s.winIns = s.winIns[:0]
+	for _, r := range batch {
+		switch r.kind {
+		case reqInsert:
+			nPred++
+			if known {
+				if ins == len(s.carriers) {
+					s.carriers = append(s.carriers, &core.PipelinedInsert{})
+				}
+				op := s.carriers[ins]
+				op.ID, op.Attach, op.SizeAtExec = r.id, r.attach, nPred
+				r.spec = op
+				s.offsets = append(s.offsets, offset)
+				s.winIns = append(s.winIns, r.id)
+				ins++
+				offset++
+			}
+		case reqDelete:
+			nPred--
+			if known {
+				// A node inserted earlier in this same window isn't visible
+				// to Load yet; it will carry the one vertex its insert walk
+				// donates, so its deletion redistributes one walk.
+				load := eng.Load(r.id)
+				for _, id := range s.winIns {
+					if id == r.id {
+						load = 1
+						break
+					}
+				}
+				offset += load
+			}
+		default:
+			known = false
+		}
+	}
+	if ins == 0 {
+		return
+	}
+	seeds := eng.PredrawSeeds(s.offsets[ins-1] + 1)
+	for i := 0; i < ins; i++ {
+		s.carriers[i].Seed = seeds[s.offsets[i]]
+	}
+	eng.SpeculateInserts(s.carriers[:ins])
+}
+
+// window processes one admitted window under the façade lock.
+func (s *pipeScheduler) window(batch []*pipeReq) {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Phase A: the engine is quiescent — verify the previous window's
+	// deferred audit targets across the worker pool, then speculate this
+	// window's insert first attempts.
+	s.flushAudit()
+	s.speculate(batch)
+	// Phase B: serial commits in admission order. The pipeline write-set
+	// stamps every slot a commit touches; each insert's disturbed flag is
+	// computed inside InjectFirstAttempt, immediately before its op runs.
+	eng := c.nw.eng
+	eng.ArmPipeline()
+	defer eng.DisarmPipeline()
+	deferAudit := c.nw.deferAudit && c.nw.audit == AuditSampled
+	for _, r := range batch {
+		var err error
+		if s.auditErr != nil && r.rec != nil {
+			err = s.auditErr // state already witnessed corrupt: fail churn fast
+		} else {
+			if r.spec != nil {
+				eng.InjectFirstAttempt(r.spec)
+			}
+			err = r.fn(c.nw)
+			eng.ClearInjectedAttempt() // not consumed if validation failed first
+			if err == nil && r.rec != nil {
+				if deferAudit {
+					// Capture before the next commit's beginStep resets the
+					// dirty set; consumes exactly the auditRng draws the
+					// inline sampled audit would.
+					s.auditPending = eng.CaptureAuditTargets(s.auditPending)
+				}
+				if s.observer != nil {
+					s.observer(*r.rec)
+				}
+			}
+		}
+		r.errc <- err
+	}
+}
+
+// WithPipeline turns the Concurrent façade into a pipelined scheduler
+// admitting up to depth operations per window (16 is a good default).
+// Operations still commit strictly serially — seeded state remains
+// byte-identical to the serialized façade for the same admitted order —
+// but each window's insert walks are speculated concurrently before the
+// commits and each window's sampled audits are verified in parallel
+// during the next window, so non-overlapping churn from concurrent
+// submitters pipelines across cores. Combine with WithWorkers(n) to size
+// the pool those phases fan out over.
+//
+// With AuditSampled the per-op audit is deferred by one window: a
+// violation surfaces on a later operation (or on Close) instead of the
+// op that caused it, and it is sticky — once witnessed, every subsequent
+// churn operation fails with it. AuditFull remains inline. Synchronous
+// event callbacks run on the scheduler goroutine and must not call back
+// into the façade (use WithAsyncEvents to lift that restriction). Only
+// meaningful for NewConcurrent; New rejects it.
+func WithPipeline(depth int) Option {
+	return func(o *options) {
+		if depth < 1 {
+			o.fail("pipeline depth %d < 1", depth)
+			return
+		}
+		o.pipeDepth = depth
+	}
+}
+
+// SetAdmissionObserver registers f to be called with every successfully
+// committed churn operation, in admission order, from the scheduler
+// goroutine (nil to clear). Replaying the observed sequence through a
+// serial façade with the same seed reproduces this network's state byte
+// for byte — this is the hook the lockstep oracle tests hang off.
+// Returns false when the façade was not built with WithPipeline.
+func (c *Concurrent) SetAdmissionObserver(f func(AdmittedOp)) bool {
+	if c.sched == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sched.observer = f
+	return true
+}
+
+// PipelineStats reports the engine's speculation counters (see
+// (*Network).SpecStats) — under WithPipeline these include the window
+// speculation hits and the conflicting ops that drained through the
+// serial path (misses).
+func (c *Concurrent) PipelineStats() (hits, misses, tail int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nw.SpecStats()
+}

@@ -1,0 +1,112 @@
+package dex_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/dex"
+)
+
+// FuzzPipelineSchedule fuzzes the pipelined scheduler against its
+// serial oracle. The input encodes a churn script in the FuzzChurnTrace
+// header-bit style:
+//
+//	data[0]        engine seed
+//	data[1] bit 0  clustered attach: every insert attaches at node 0, so
+//	               window footprints overlap and the retry/drain path
+//	               (disturbed speculations re-walking serially) sees
+//	               constant traffic
+//	data[1] bits 3-7  extra initial nodes on top of 16
+//	data[2:]       op stream, dealt round-robin to 3 submitter goroutines;
+//	               bit 7 deletes one of the submitter's own earlier
+//	               inserts, otherwise the byte inserts a fresh node
+//
+// Whatever schedule the scheduler admits is replayed through a plain
+// serial Network with the same seed; History, node set, overlay, and
+// loads must match byte for byte.
+func FuzzPipelineSchedule(f *testing.F) {
+	f.Add([]byte{7, 0x01, 0x10, 0x20, 0x90, 0x30, 0x81, 0x40, 0x50, 0xa0, 0x11, 0x22})
+	f.Add([]byte{3, 0x28, 0x01, 0x02, 0x83, 0x04, 0x85, 0x06, 0x07, 0x88})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		seed := int64(data[0])
+		clustered := data[1]&0x01 != 0
+		n0 := 16 + int(data[1]>>3)
+		script := data[2:]
+		if len(script) > 300 {
+			script = script[:300]
+		}
+
+		c, err := dex.NewConcurrent(dex.WithInitialSize(n0), dex.WithSeed(seed),
+			dex.WithWorkers(4), dex.WithAuditMode(dex.AuditSampled), dex.WithPipeline(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		var mu sync.Mutex
+		var admitted []dex.AdmittedOp
+		c.SetAdmissionObserver(func(op dex.AdmittedOp) {
+			mu.Lock()
+			admitted = append(admitted, op)
+			mu.Unlock()
+		})
+
+		const submitters = 3
+		var wg sync.WaitGroup
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				var mine []dex.NodeID // own inserted ids; peers never touch them
+				next := 0
+				for i := g; i < len(script); i += submitters {
+					b := script[i]
+					if b&0x80 != 0 && len(mine) > 0 {
+						k := int(b&0x7f) % len(mine)
+						id := mine[k]
+						mine = append(mine[:k], mine[k+1:]...)
+						if err := c.Delete(id); err != nil {
+							t.Errorf("submitter %d delete %d: %v", g, id, err)
+							return
+						}
+					} else {
+						id := dex.NodeID(1_000_000*(g+1) + next)
+						next++
+						at := dex.NodeID(0)
+						if !clustered {
+							if len(mine) > 0 && b&0x40 != 0 {
+								at = mine[int(b&0x3f)%len(mine)]
+							} else {
+								at = dex.NodeID(int(b) % n0)
+							}
+						}
+						if err := c.Insert(id, at); err != nil {
+							t.Errorf("submitter %d insert %d@%d: %v", g, id, at, err)
+							return
+						}
+						mine = append(mine, id)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		c.SetAdmissionObserver(nil)
+		if t.Failed() {
+			return
+		}
+
+		plain, err := dex.New(dex.WithInitialSize(n0), dex.WithSeed(seed),
+			dex.WithWorkers(4), dex.WithAuditMode(dex.AuditSampled))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer plain.Close()
+		mu.Lock()
+		sched := append([]dex.AdmittedOp(nil), admitted...)
+		mu.Unlock()
+		replayAdmitted(t, plain, sched)
+		comparePipelinedToSerial(t, c, plain)
+	})
+}

@@ -1,0 +1,338 @@
+package dex_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/dex"
+)
+
+// comparePipelinedToSerial asserts the pipelined façade's frozen state
+// is byte-identical to a plain serial Network: history, node set,
+// overlay edge multiset, and per-node loads.
+func comparePipelinedToSerial(t *testing.T, c *dex.Concurrent, plain *dex.Network) {
+	t.Helper()
+	if !reflect.DeepEqual(plain.History(), c.History()) {
+		t.Fatal("histories diverged between serial oracle and pipelined façade")
+	}
+	nodes := plain.Nodes()
+	if !reflect.DeepEqual(nodes, c.Nodes()) {
+		t.Fatal("node sets diverged")
+	}
+	snap, _ := c.Snapshot()
+	if !reflect.DeepEqual(plain.Graph().Edges(), snap.Edges()) {
+		t.Fatal("overlay edge multisets diverged")
+	}
+	for _, u := range nodes {
+		if pl, cl := plain.Load(u), c.Load(u); pl != cl {
+			t.Fatalf("load of node %d diverged: serial %d, pipelined %d", u, pl, cl)
+		}
+	}
+}
+
+// TestPipelinedMatchesPlain: a single-caller pipelined façade (windows
+// of one, every insert speculated, audits deferred by a window) is
+// byte-identical to the plain serial Network on the same op sequence.
+func TestPipelinedMatchesPlain(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			plain, err := dex.New(dex.WithInitialSize(24), dex.WithSeed(121),
+				dex.WithWorkers(workers), dex.WithAuditMode(dex.AuditSampled))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plain.Close()
+			c, err := dex.NewConcurrent(dex.WithInitialSize(24), dex.WithSeed(121),
+				dex.WithWorkers(workers), dex.WithAuditMode(dex.AuditSampled),
+				dex.WithPipeline(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			driveSeededChurn(t, 121, 300, plain.Size, plain.Nodes, plain.FreshID, plain.Insert, plain.Delete)
+			driveSeededChurn(t, 121, 300, c.Size, c.Nodes, c.FreshID, c.Insert, c.Delete)
+
+			comparePipelinedToSerial(t, c, plain)
+			hits, _, _ := c.PipelineStats()
+			if hits == 0 {
+				t.Fatal("no speculation hits in 300 pipelined churn steps")
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// pipelinedChurn drives submitters concurrent goroutines of mostly
+// non-overlapping churn (each owns a private id range and attaches new
+// nodes inside it) against c, recording the admitted schedule. When
+// clustered is set every insert instead attaches at one shared node, so
+// window footprints overlap and conflicting ops drain through the
+// serial path.
+func pipelinedChurn(t *testing.T, c *dex.Concurrent, submitters, ops int, clustered bool) []dex.AdmittedOp {
+	t.Helper()
+	var mu sync.Mutex
+	var admitted []dex.AdmittedOp
+	if !c.SetAdmissionObserver(func(op dex.AdmittedOp) {
+		mu.Lock()
+		admitted = append(admitted, op)
+		mu.Unlock()
+	}) {
+		t.Fatal("SetAdmissionObserver on a pipelined façade returned false")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			anchor := dex.NodeID(g * 3)
+			var mine []dex.NodeID // own live inserted ids, never touched by peers
+			for i := 0; i < ops; i++ {
+				if len(mine) == 0 || rng.Float64() < 0.7 {
+					id := dex.NodeID(1_000_000*(g+1) + i)
+					at := anchor
+					if clustered {
+						at = 0
+					} else if len(mine) > 0 && rng.Float64() < 0.5 {
+						at = mine[rng.Intn(len(mine))]
+					}
+					if err := c.Insert(id, at); err != nil {
+						t.Errorf("submitter %d insert %d@%d: %v", g, id, at, err)
+						return
+					}
+					mine = append(mine, id)
+				} else {
+					k := rng.Intn(len(mine))
+					id := mine[k]
+					mine = append(mine[:k], mine[k+1:]...)
+					if err := c.Delete(id); err != nil {
+						t.Errorf("submitter %d delete %d: %v", g, id, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.SetAdmissionObserver(nil)
+	mu.Lock()
+	defer mu.Unlock()
+	return admitted
+}
+
+// replayAdmitted applies an admitted schedule to a fresh serial Network.
+func replayAdmitted(t *testing.T, plain *dex.Network, admitted []dex.AdmittedOp) {
+	t.Helper()
+	for i, op := range admitted {
+		var err error
+		switch op.Kind {
+		case dex.OpInsert:
+			err = plain.Insert(op.ID, op.Attach)
+		case dex.OpDelete:
+			err = plain.Delete(op.ID)
+		case dex.OpBatchInsert:
+			err = plain.InsertBatch(op.Specs)
+		case dex.OpBatchDelete:
+			err = plain.DeleteBatch(op.IDs)
+		default:
+			t.Fatalf("admitted op %d has unknown kind %v", i, op.Kind)
+		}
+		if err != nil {
+			t.Fatalf("serial replay diverged at admitted op %d (%+v): %v", i, op, err)
+		}
+	}
+}
+
+// TestPipelineOracleLockstep is the tentpole's linearizability oracle:
+// concurrent submitters churn a pipelined façade, the admitted schedule
+// is recorded, and replaying it through a plain serial Network with the
+// same seed must reproduce History, node set, overlay, and loads byte
+// for byte — at every worker width.
+func TestPipelineOracleLockstep(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c, err := dex.NewConcurrent(dex.WithInitialSize(64), dex.WithSeed(77),
+				dex.WithWorkers(workers), dex.WithAuditMode(dex.AuditSampled),
+				dex.WithPipeline(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			admitted := pipelinedChurn(t, c, 4, 150, false)
+			if len(admitted) != 4*150 {
+				t.Fatalf("admitted %d ops, want %d", len(admitted), 4*150)
+			}
+
+			plain, err := dex.New(dex.WithInitialSize(64), dex.WithSeed(77),
+				dex.WithWorkers(workers), dex.WithAuditMode(dex.AuditSampled))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plain.Close()
+			replayAdmitted(t, plain, admitted)
+			comparePipelinedToSerial(t, c, plain)
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPipelineConflictDrain forces overlapping footprints: every
+// submitter attaches at node 0, so a window's commits disturb the
+// speculative walks behind them and those ops must drain through the
+// serial path (speculation misses). The oracle must hold regardless —
+// conflicts cost wall-clock, never state.
+func TestPipelineConflictDrain(t *testing.T) {
+	c, err := dex.NewConcurrent(dex.WithInitialSize(32), dex.WithSeed(88),
+		dex.WithWorkers(4), dex.WithAuditMode(dex.AuditSampled), dex.WithPipeline(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	admitted := pipelinedChurn(t, c, 8, 120, true)
+
+	hits, misses, _ := c.PipelineStats()
+	t.Logf("clustered churn: %d speculation hits, %d drained through the serial path", hits, misses)
+	if hits+misses == 0 {
+		t.Fatal("no speculation activity under clustered churn")
+	}
+	if misses == 0 {
+		t.Fatal("no conflicting op ever drained through the serial path; overlap forcing is broken")
+	}
+
+	plain, err := dex.New(dex.WithInitialSize(32), dex.WithSeed(88),
+		dex.WithWorkers(4), dex.WithAuditMode(dex.AuditSampled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	replayAdmitted(t, plain, admitted)
+	comparePipelinedToSerial(t, c, plain)
+}
+
+// TestPipelineHammer is the scheduler's -race gate: churn submitters,
+// generic Do sections, batch ops, explicit audits, snapshot/history
+// readers, and subscription churn all hammer one pipelined façade with
+// async events. Correctness is "no race, no deadlock, invariants hold,
+// events flow".
+func TestPipelineHammer(t *testing.T) {
+	c, err := dex.NewConcurrent(
+		dex.WithInitialSize(32),
+		dex.WithSeed(99),
+		dex.WithWorkers(4),
+		dex.WithAuditMode(dex.AuditSampled),
+		dex.WithPipeline(8),
+		dex.WithAsyncEvents(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events atomic.Int64
+	cancel := c.Subscribe(func(dex.Event) { events.Add(1) })
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(500 + g)))
+			for i := 0; i < 120; i++ {
+				switch {
+				case rng.Float64() < 0.6 || c.Size() <= 12:
+					err := c.Insert(c.FreshID(), c.Sample())
+					if err != nil && !errors.Is(err, dex.ErrUnknownNode) {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				case rng.Float64() < 0.5:
+					err := c.Delete(c.Sample())
+					if err != nil && !errors.Is(err, dex.ErrUnknownNode) && !errors.Is(err, dex.ErrTooSmall) {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				default:
+					// Generic ops interleave with typed ones in admission order.
+					err := c.Do(func(nw *dex.Network) error {
+						return nw.InsertBatch([]dex.InsertSpec{{ID: nw.FreshID(), Attach: nw.Nodes()[0]}})
+					})
+					if err != nil {
+						t.Errorf("batch: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			if err := c.Audit(dex.AuditSampled); err != nil {
+				t.Errorf("audit: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			stop := c.Subscribe(func(dex.Event) {})
+			snap, _ := c.Snapshot()
+			if snap.NumNodes() == 0 {
+				t.Error("empty snapshot")
+				return
+			}
+			_ = c.History()
+			_ = c.Totals()
+			_, _, _ = c.PipelineStats()
+			stop()
+		}
+	}()
+	wg.Wait()
+
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after pipeline hammer: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if events.Load() == 0 {
+		t.Fatal("no events delivered")
+	}
+	if err := c.Insert(c.FreshID(), 0); !errors.Is(err, dex.ErrClosed) {
+		t.Fatalf("insert after Close: %v, want ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestPipelineOptionValidation: plain New rejects WithPipeline, and the
+// depth must be positive.
+func TestPipelineOptionValidation(t *testing.T) {
+	if _, err := dex.New(dex.WithPipeline(8)); err == nil {
+		t.Fatal("New accepted WithPipeline")
+	}
+	if _, err := dex.NewConcurrent(dex.WithPipeline(0)); err == nil {
+		t.Fatal("pipeline depth 0 accepted")
+	}
+	c, err := dex.NewConcurrent(dex.WithInitialSize(16), dex.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.SetAdmissionObserver(func(dex.AdmittedOp) {}) {
+		t.Fatal("SetAdmissionObserver succeeded on a non-pipelined façade")
+	}
+}

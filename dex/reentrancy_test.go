@@ -63,6 +63,46 @@ func TestReentrantOpRejected(t *testing.T) {
 	}
 }
 
+// TestReentrantCheckpointRejected: Checkpoint from inside an event
+// callback must fail with ErrReentrantOp like every other mutator — a
+// checkpoint taken mid-operation would snapshot half-applied recovery
+// state into the WAL — and must work again once the step completes.
+func TestReentrantCheckpointRejected(t *testing.T) {
+	nw, err := dex.New(dex.WithInitialSize(16), dex.WithSeed(6), dex.WithPersistence(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	attempts := 0
+	var wrong []error
+	defer nw.Subscribe(func(ev dex.Event) {
+		if _, ok := ev.(dex.VertexTransferred); !ok {
+			return
+		}
+		attempts++
+		if reentry := nw.Checkpoint(); !errors.Is(reentry, dex.ErrReentrantOp) {
+			wrong = append(wrong, reentry)
+		}
+	})()
+
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 120; i++ {
+		if err := nw.Insert(nw.FreshID(), nw.Nodes()[rng.Intn(nw.Size())]); err != nil {
+			t.Fatalf("outer op failed: %v", err)
+		}
+	}
+	if attempts == 0 {
+		t.Fatal("no vertex transfer fired; checkpoint re-entrancy never exercised")
+	}
+	if len(wrong) != 0 {
+		t.Fatalf("re-entrant checkpoints not all rejected: %v", wrong)
+	}
+	// The guard must clear once the step completes.
+	if err := nw.Checkpoint(); err != nil {
+		t.Fatalf("post-step checkpoint rejected: %v", err)
+	}
+}
+
 // TestSubscribeDuringDelivery: a callback subscribing mid-delivery must
 // not disturb the in-flight round; the nested subscriber starts
 // receiving with the next event, so its log is a strict suffix of the

@@ -225,6 +225,20 @@ type Network struct {
 	specMisses  int
 	tailWalks   int
 
+	// Pipelined-façade state (see pipeline.go). pipeAttempt, when
+	// non-nil, is consumed by the next recoverInsert as its first-attempt
+	// speculation; pipeExcl/pipeStops are the window's per-index stop
+	// predicates (struct-of-arrays, like contendExcl/contendStops);
+	// the remaining fields are the window's reused buffers.
+	pipeAttempt    *specAttempt
+	pipeAttemptBuf specAttempt
+	pipeExcl       []NodeID
+	pipeStops      []func(NodeID, int32) bool
+	pipeSeedBuf    []uint64
+	pipeSpecs      []congest.WalkSpec
+	pipeOuts       []congest.WalkOutcome
+	pipeIdx        []int
+
 	// rngDraws counts uint64 draws taken from rng since construction.
 	// Both draw sites (the walkSeed fallback and predrawSeedsInto) go
 	// through drawU64, so a checkpoint can record the stream position and
@@ -469,12 +483,16 @@ func (nw *Network) MaxLoad() int {
 }
 
 // walkLen returns the type-1 walk length c*ceil(log2 n).
-func (nw *Network) walkLen() int {
-	n := nw.Size()
+func (nw *Network) walkLen() int { return walkLenFor(nw.Size(), nw.cfg.WalkFactor) }
+
+// walkLenFor is walkLen at an arbitrary network size: the pipelined
+// façade predicts each insert's walk length from its predicted size at
+// execution time (see pipeline.go).
+func walkLenFor(n, factor int) int {
 	if n < 2 {
 		return 1
 	}
-	return nw.cfg.WalkFactor * int(math.Ceil(math.Log2(float64(n))))
+	return factor * int(math.Ceil(math.Log2(float64(n))))
 }
 
 // --- load & set-size tracking ----------------------------------------------
@@ -572,6 +590,31 @@ func (nw *Network) rawRemoveEdge(a, b NodeID) {
 	}
 }
 
+// rawAddEdgeAt / rawRemoveEdgeAt are the slot-native forms for callers
+// that already hold endpoint a's slot: moveVertex resolves its anchor
+// node's slot once and reuses it for the whole three-edge batch, instead
+// of paying an id->slot map probe inside every graph mutation. The graph
+// treats {a,b} symmetrically, so anchoring on either endpoint is valid.
+func (nw *Network) rawAddEdgeAt(a NodeID, sa int32, b NodeID) {
+	nw.real.AddEdgeAt(sa, a, b)
+	nw.st.markDirtyAt(a, sa)
+	nw.markDirty(b)
+	if nw.edgeObserver != nil {
+		nw.edgeDeltas[pairKey(a, b)]++
+	}
+}
+
+func (nw *Network) rawRemoveEdgeAt(a NodeID, sa int32, b NodeID) {
+	if !nw.real.RemoveEdgeAt(sa, a, b) {
+		panic(fmt.Sprintf("core: removing absent real edge {%d,%d}", a, b))
+	}
+	nw.st.markDirtyAt(a, sa)
+	nw.markDirty(b)
+	if nw.edgeObserver != nil {
+		nw.edgeDeltas[pairKey(a, b)]--
+	}
+}
+
 // rawAddEdgeMult / rawRemoveEdgeMult are the bulk forms used by the
 // rebuild diff replay: one arena operation applies a whole multiplicity
 // delta instead of k single-edge mutations.
@@ -613,6 +656,17 @@ func (nw *Network) removeRealEdge(a, b NodeID) {
 	nw.step.TopologyChanges++
 }
 
+// addRealEdgeAt / removeRealEdgeAt: slot-native counterparts.
+func (nw *Network) addRealEdgeAt(a NodeID, sa int32, b NodeID) {
+	nw.rawAddEdgeAt(a, sa, b)
+	nw.step.TopologyChanges++
+}
+
+func (nw *Network) removeRealEdgeAt(a NodeID, sa int32, b NodeID) {
+	nw.rawRemoveEdgeAt(a, sa, b)
+	nw.step.TopologyChanges++
+}
+
 // moveVertex transfers current-cycle vertex x from its simulator to node
 // w, updating the contraction's real edges slot by slot. During a
 // staggered rebuild the pending intermediate edges anchored at x move
@@ -622,15 +676,24 @@ func (nw *Network) moveVertex(x Vertex, w NodeID) {
 	if u == w {
 		return
 	}
+	// Pin the anchor slots once: every removal below is incident to u and
+	// every insertion to w, so the whole edge batch runs slot-native (one
+	// map probe per endpoint instead of one per edge; edges are
+	// undirected, so anchoring the stagger pending edges on u/w is the
+	// same mutation).
+	su, ok := nw.real.SlotOf(u)
+	if !ok {
+		panic(fmt.Sprintf("core: moveVertex from absent node %d", u))
+	}
 	for _, t := range nw.slotTargets(x) {
 		if nw.stag != nil && nw.stag.phase == 2 && nw.stag.dropped(t) {
 			continue // edge already removed with the dropped endpoint
 		}
-		nw.removeRealEdge(u, nw.endpointOwner(x, t))
+		nw.removeRealEdgeAt(u, su, nw.endpointOwner(x, t))
 	}
 	if nw.stag != nil {
 		for _, pe := range nw.stag.pending[x] {
-			nw.removeRealEdge(nw.stag.newSimOf[pe.src], u)
+			nw.removeRealEdgeAt(u, su, nw.stag.newSimOf[pe.src])
 		}
 	}
 	nw.st.simRemove(u, x)
@@ -638,15 +701,19 @@ func (nw *Network) moveVertex(x Vertex, w NodeID) {
 	nw.simOf[x] = w
 	nw.st.simAdd(w, x)
 	nw.bumpLoad(w, 1)
+	sw, ok := nw.real.SlotOf(w)
+	if !ok {
+		panic(fmt.Sprintf("core: moveVertex to absent node %d", w))
+	}
 	for _, t := range nw.slotTargets(x) {
 		if nw.stag != nil && nw.stag.phase == 2 && nw.stag.dropped(t) {
 			continue
 		}
-		nw.addRealEdge(w, nw.endpointOwner(x, t))
+		nw.addRealEdgeAt(w, sw, nw.endpointOwner(x, t))
 	}
 	if nw.stag != nil {
 		for _, pe := range nw.stag.pending[x] {
-			nw.addRealEdge(nw.stag.newSimOf[pe.src], w)
+			nw.addRealEdgeAt(w, sw, nw.stag.newSimOf[pe.src])
 		}
 		// An unprocessed vertex carries its projected cloud load and its
 		// pending-work accounting with it.

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/congest"
+)
+
+// This file is the engine half of the pipelined façade (dex/pipeline.go):
+// primitives that let an external scheduler speculate a whole window of
+// insert first attempts against the quiescent overlay, commit the window
+// serially through the ordinary Insert/Delete entry points (injecting
+// each speculation back just before its op runs), and defer the sampled
+// audits of one window into the next, where they fan out across cores.
+//
+// The determinism story is unchanged from parallel.go: walk seeds come
+// from the serial FIFO, an injected speculation is consumed through
+// firstAttempt (which re-runs the walk in place unless seed, epoch, walk
+// length, and footprint all still match), and the commits themselves are
+// strictly serial. A wrong prediction by the scheduler — seed offset,
+// network size, anything — therefore costs a speculation, never
+// correctness.
+//
+// Conflict detection uses a dedicated generation-stamp column (pipeAt):
+// the spec column spans one op's retry window and is re-armed mid-op by
+// retryContendersParallel, while a pipeline window spans many ops and —
+// unlike speculation windows — may delete nodes, so slot recycling must
+// count as a touch (slotAssigned/slotReleased stamp while armed).
+
+// PipelinedInsert carries one insert through the scheduler's speculation
+// window. The caller fills the exported fields (op identity plus its
+// predictions); SpeculateInserts fills the rest. A value is reusable
+// across windows — the visited buffer is recycled in place.
+type PipelinedInsert struct {
+	ID     NodeID
+	Attach NodeID
+	// SizeAtExec is the predicted network size at the moment the
+	// insert's first walk runs, newborn included (the engine registers
+	// the node before recoverInsert).
+	SizeAtExec int
+	// Seed is the walk seed the serial path is predicted to draw for
+	// the first attempt (from PredrawSeeds at the predicted offset).
+	Seed uint64
+
+	ok      bool
+	epoch   uint64
+	maxLen  int
+	res     congest.WalkResult
+	visited []int32
+}
+
+// PredrawSeeds tops the walk-seed FIFO up to k entries and returns a
+// stable copy of the first k. The FIFO itself is consumed by walkSeed
+// during the window's serial commits, so the copy tells the scheduler
+// which seed the serial path will draw at each future offset.
+func (nw *Network) PredrawSeeds(k int) []uint64 {
+	nw.pipeSeedBuf = nw.predrawSeedsInto(nw.pipeSeedBuf, k)
+	return nw.pipeSeedBuf
+}
+
+// pipeStopAt returns the reusable steady-state insert predicate for
+// window index j, its exclusion flowing struct-of-arrays through
+// pipeExcl (same scheme as contendStopAt — concurrent walks need one
+// predicate per index, and a window must allocate no closures).
+func (nw *Network) pipeStopAt(j int) func(NodeID, int32) bool {
+	st := &nw.st
+	for len(nw.pipeStops) <= j {
+		k := len(nw.pipeStops)
+		nw.pipeExcl = append(nw.pipeExcl, -1)
+		nw.pipeStops = append(nw.pipeStops, func(w NodeID, s int32) bool {
+			return w != nw.pipeExcl[k] && st.loadAt(w, s) >= 2
+		})
+	}
+	return nw.pipeStops[j]
+}
+
+// SpeculateInserts runs the first-attempt walks of a window of pending
+// inserts concurrently against the quiescent overlay, recording for each
+// the result, its visited-slot trace, and the guards (epoch, predicted
+// walk length) that InjectFirstAttempt/firstAttempt later revalidate.
+// Ops whose attach point is missing, or any window taken mid-stagger
+// (the staggered predicates depend on per-op phase state), are left
+// unspeculated — their commits simply run the serial walk.
+func (nw *Network) SpeculateInserts(ops []*PipelinedInsert) {
+	for _, op := range ops {
+		op.ok = false
+	}
+	if nw.stag != nil || len(ops) == 0 {
+		return
+	}
+	if cap(nw.pipeOuts) < len(ops) {
+		nw.pipeSpecs = make([]congest.WalkSpec, 0, len(ops))
+		nw.pipeOuts = make([]congest.WalkOutcome, len(ops))
+		nw.pipeIdx = make([]int, 0, len(ops))
+	}
+	specs, idx := nw.pipeSpecs[:0], nw.pipeIdx[:0]
+	epoch := nw.specEpoch
+	for i, op := range ops {
+		slot, ok := nw.real.SlotOf(op.Attach)
+		if !ok {
+			continue
+		}
+		j := len(specs)
+		stop := nw.pipeStopAt(j)
+		nw.pipeExcl[j] = op.ID
+		op.epoch = epoch
+		op.maxLen = walkLenFor(op.SizeAtExec, nw.cfg.WalkFactor)
+		specs = append(specs, congest.WalkSpec{
+			Start:     op.Attach,
+			StartSlot: slot,
+			Exclude:   op.ID,
+			MaxLen:    op.maxLen,
+			Seed:      op.Seed,
+			Stop:      stop,
+		})
+		idx = append(idx, i)
+	}
+	outs := nw.pipeOuts[:len(specs)]
+	nw.runSpecWindow(specs, outs)
+	for j, i := range idx {
+		op := ops[i]
+		op.res = outs[j].Res
+		// Own the trace: the engine's walk buffers are recycled by the
+		// ops committed underneath this window.
+		op.visited = append(op.visited[:0], outs[j].Visited...)
+		op.ok = true
+	}
+	nw.pipeSpecs, nw.pipeIdx = specs, idx
+}
+
+// ArmPipeline resets and arms the pipeline-window write-set; every slot
+// a subsequent commit touches (including slots assigned or recycled by
+// inserts and deletes) is stamped until DisarmPipeline.
+func (nw *Network) ArmPipeline() { nw.st.armPipe() }
+
+// DisarmPipeline stops recording at the end of a pipelined commit window.
+func (nw *Network) DisarmPipeline() { nw.st.disarmPipe() }
+
+// pipeDisturbed reports whether any slot the speculative walk visited
+// was touched by a commit since ArmPipeline.
+func (nw *Network) pipeDisturbed(visited []int32) bool {
+	if nw.st.pipeSize() == 0 {
+		return false
+	}
+	for _, s := range visited {
+		if nw.st.pipeHasAt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// InjectFirstAttempt stages op's speculation for the next recoverInsert:
+// the disturbed flag is computed here, immediately before the op runs,
+// because the insert's own self-touches (node registration, temp edge)
+// land before the walk and must not count as conflicts. No-op for
+// unspeculated ops.
+func (nw *Network) InjectFirstAttempt(op *PipelinedInsert) {
+	if !op.ok {
+		return
+	}
+	nw.pipeAttemptBuf = specAttempt{
+		seed:      op.Seed,
+		epoch:     op.epoch,
+		maxLen:    op.maxLen,
+		res:       op.res,
+		disturbed: nw.pipeDisturbed(op.visited),
+	}
+	nw.pipeAttempt = &nw.pipeAttemptBuf
+}
+
+// ClearInjectedAttempt drops a staged speculation that was not consumed
+// (the op failed validation before reaching its first walk).
+func (nw *Network) ClearInjectedAttempt() { nw.pipeAttempt = nil }
+
+// AuditPrelude is the window-level half of Audit(AuditSampled): store
+// coherence plus the n <= p bound. The scheduler runs it once per
+// deferred-audit batch instead of once per op.
+func (nw *Network) AuditPrelude() error {
+	if err := nw.st.checkCoherence(); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	if int64(nw.Size()) > nw.z.P() {
+		return fmt.Errorf("audit: n=%d exceeds p=%d", nw.Size(), nw.z.P())
+	}
+	return nil
+}
+
+// CaptureAuditTargets records the node set Audit(AuditSampled) would
+// verify right now — the step's dirty nodes (capped) plus the uniform
+// sample — appending to buf and returning it. It consumes exactly the
+// auditRng draws the inline audit would, so a run that defers audits
+// keeps the audit RNG stream byte-identical to one that doesn't. The
+// CheckNode calls themselves happen later (CheckNodesParallel), when
+// the ops of the next window speculate: targets deleted in between are
+// skipped there.
+func (nw *Network) CaptureAuditTargets(buf []NodeID) []NodeID {
+	checked := 0
+	nw.st.forEachDirty(func(u NodeID) bool {
+		if !nw.st.has(u) {
+			return true // deleted this step
+		}
+		buf = append(buf, u)
+		checked++
+		return checked < auditDirtyCap
+	})
+	for i := 0; i < auditSampleSize && len(nw.st.nodeList) > 0; i++ {
+		buf = append(buf, nw.SampleNode(nw.auditRng))
+	}
+	return buf
+}
+
+// minAuditFan is the batch size below which CheckNodesParallel stays
+// serial: a handful of O(zeta) node checks costs less than waking the
+// goroutines that would share them.
+const minAuditFan = 32
+
+// CheckNodesParallel runs CheckNode over ids, fanned across up to
+// Workers goroutines. CheckNode is a pure read (it never touches the
+// engine RNG, History, or any mutable column), so any quiescent point is
+// a valid check point and the goroutines share nothing but the graph and
+// the columns they read. Ids no longer alive are skipped. On multiple
+// failures the lowest-index error wins, keeping reports deterministic.
+func (nw *Network) CheckNodesParallel(ids []NodeID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	w := nw.workers
+	if len(ids) < minAuditFan {
+		w = 1
+	}
+	if w > len(ids) {
+		w = len(ids)
+	}
+	if w <= 1 {
+		for _, u := range ids {
+			if !nw.st.has(u) {
+				continue
+			}
+			if err := nw.CheckNode(u); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, w)
+	chunk := (len(ids) + w - 1) / w
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		lo, hi := g*chunk, (g+1)*chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(g int, ids []NodeID) {
+			defer wg.Done()
+			for _, u := range ids {
+				if !nw.st.has(u) {
+					continue
+				}
+				if err := nw.CheckNode(u); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g, ids[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

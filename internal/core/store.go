@@ -70,6 +70,7 @@ type shard struct {
 	pos       []int32  // position in the sampling mirror (-1 when absent)
 	dirtyAt   []uint32 // dirty-set generation stamp
 	specAt    []uint32 // speculation write-set generation stamp
+	pipeAt    []uint32 // pipeline-window write-set generation stamp
 	sim       []vset   // Sim(u): current-cycle vertices
 	nxt       []vset   // NewSim(u): next-cycle vertices while staggering
 	effNew    []int32  // generated + projected new vertices (staggering)
@@ -84,6 +85,7 @@ func newShard(bigRun int32) *shard {
 		pos:       make([]int32, shardSlots),
 		dirtyAt:   make([]uint32, shardSlots),
 		specAt:    make([]uint32, shardSlots),
+		pipeAt:    make([]uint32, shardSlots),
 		sim:       make([]vset, shardSlots),
 		nxt:       make([]vset, shardSlots),
 		effNew:    make([]int32, shardSlots),
@@ -332,6 +334,16 @@ type state struct {
 	specGen   uint32
 	specCount int
 
+	// Pipeline-window write-set: a second, longer-lived stamp column that
+	// records every slot touched across a whole pipelined commit window
+	// (many ops), where specAt only spans one op's retry window —
+	// retryContendersParallel arms and disarms spec mid-op, so the two
+	// cannot share a column. Dense backend only: the pipelined façade
+	// never builds map-state engines.
+	pipeArmed bool
+	pipeGen   uint32
+	pipeCount int
+
 	bigRun int32 // heavy-node run class handed to new shards
 
 	m *mapState
@@ -356,7 +368,7 @@ func (st *state) init(g *graph.Graph, useMap bool, zeta int) {
 		}
 		return
 	}
-	st.dirtyGen, st.specGen = 1, 1
+	st.dirtyGen, st.specGen, st.pipeGen = 1, 1, 1
 	g.SetSlotHooks(st.slotAssigned, st.slotReleased)
 }
 
@@ -383,6 +395,18 @@ func (st *state) slotAssigned(_ NodeID, s int32) {
 	sh.load[i] = 0
 	sh.pos[i] = -1
 	sh.dirtyAt[i], sh.specAt[i] = 0, 0
+	// A slot assigned mid-pipeline-window counts as touched: pipeline
+	// windows (unlike one-op speculation windows) both insert and delete
+	// nodes, so a recycled slot must not look untouched to a stale
+	// footprint that visited its previous occupant.
+	if st.pipeArmed {
+		if sh.pipeAt[i] != st.pipeGen {
+			sh.pipeAt[i] = st.pipeGen
+			st.pipeCount++
+		}
+	} else {
+		sh.pipeAt[i] = 0
+	}
 	sh.sim[i], sh.nxt[i] = vset{}, vset{}
 	sh.effNew[i], sh.unprocOld[i] = 0, 0
 }
@@ -397,6 +421,14 @@ func (st *state) slotReleased(_ NodeID, s int32) {
 	sh.load[i] = 0
 	sh.pos[i] = -1
 	sh.dirtyAt[i], sh.specAt[i] = 0, 0
+	if st.pipeArmed {
+		if sh.pipeAt[i] != st.pipeGen {
+			sh.pipeAt[i] = st.pipeGen
+			st.pipeCount++
+		}
+	} else {
+		sh.pipeAt[i] = 0
+	}
 	sh.effNew[i], sh.unprocOld[i] = 0, 0
 }
 
@@ -599,6 +631,17 @@ func (st *state) markDirty(u NodeID) {
 	}
 }
 
+// markDirtyAt is markDirty with u's live slot already in hand (the
+// slot-native edge mutators hand it down, skipping the map probe).
+func (st *state) markDirtyAt(u NodeID, s int32) {
+	if st.m != nil {
+		st.markDirtyMap(u)
+		return
+	}
+	sh, i := st.shardOf(s)
+	st.markDirtySlot(sh, i, u)
+}
+
 func (st *state) markDirtyMap(u NodeID) {
 	m := st.m
 	m.dirty[u] = struct{}{}
@@ -615,6 +658,10 @@ func (st *state) markDirtySlot(sh *shard, i int32, u NodeID) {
 	if st.specArmed && sh.specAt[i] != st.specGen {
 		sh.specAt[i] = st.specGen
 		st.specCount++
+	}
+	if st.pipeArmed && sh.pipeAt[i] != st.pipeGen {
+		sh.pipeAt[i] = st.pipeGen
+		st.pipeCount++
 	}
 }
 
@@ -731,6 +778,36 @@ func (st *state) specHasAt(s int32) bool {
 	}
 	sh, i := st.shardOf(s)
 	return sh.specAt[i] == st.specGen
+}
+
+// armPipe resets and arms the pipeline-window write-set: markDirty,
+// slot assignment, and slot release feed it while armed. Dense only.
+func (st *state) armPipe() {
+	st.pipeArmed = true
+	st.pipeCount = 0
+	st.pipeGen++
+	if st.pipeGen == 0 { // wrapped: stale stamps could alias, wipe them
+		for _, sh := range st.shards {
+			if sh != nil {
+				clear(sh.pipeAt)
+			}
+		}
+		st.pipeGen = 1
+	}
+}
+
+// disarmPipe stops recording at the end of a pipelined commit window.
+func (st *state) disarmPipe() { st.pipeArmed = false }
+
+// pipeSize returns the number of slots the armed pipeline write-set holds.
+func (st *state) pipeSize() int { return st.pipeCount }
+
+// pipeHasAt reports whether slot s was touched since armPipe. Dense only;
+// like specHasAt this is a single stamp compare, so revalidating a
+// speculative walk's visited trace costs one array read per hop.
+func (st *state) pipeHasAt(s int32) bool {
+	sh, i := st.shardOf(s)
+	return sh.pipeAt[i] == st.pipeGen
 }
 
 // --- vertex sets: Sim(u) current-cycle, NewSim(u) next-cycle ----------------

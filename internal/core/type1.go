@@ -39,7 +39,19 @@ func (nw *Network) recoverInsert(id, attach NodeID) {
 	// nodes), so one resolution covers every retry and the parallel tail.
 	attachSlot, _ := nw.real.SlotOf(attach)
 	for attempt := 0; attempt < nw.cfg.WalkRetryLimit; attempt++ {
-		res := nw.runWalkAt(attach, attachSlot, id, stop)
+		var res congest.WalkResult
+		if attempt == 0 && nw.pipeAttempt != nil {
+			// The pipelined façade speculated this insert's first walk
+			// against the window-start state; firstAttempt consumes the
+			// serial seed and keeps the result only when replaying it
+			// would provably be identical (seed, epoch, walk length,
+			// undisturbed footprint), re-running in place otherwise.
+			sp := nw.pipeAttempt
+			nw.pipeAttempt = nil
+			res = nw.firstAttempt(sp, attach, attachSlot, id, stop)
+		} else {
+			res = nw.runWalkAt(attach, attachSlot, id, stop)
+		}
 		if res.Hit {
 			nw.donateVertexTo(res.End, id)
 			return

@@ -89,16 +89,6 @@ type Graph struct {
 	edges     int              // number of edges (loops count once)
 	epoch     uint64           // logical version: bumped by every effective mutation
 
-	// One-entry id->slot cache for the mutation path. Churn overwhelmingly
-	// touches the same node in consecutive ops (add-then-remove pairs,
-	// multi-edge inserts at one vertex), and a cached slot skips the map
-	// probe entirely. Valid iff lastSlot >= 0; written only by mutators
-	// (which are externally serialized), invalidated when lastID's slot is
-	// freed in RemoveNode. Read-only methods never write it, so concurrent
-	// readers stay race-free.
-	lastID   NodeID
-	lastSlot int32
-
 	// Slot lifecycle hooks (SetSlotHooks): onSlotAssign fires right after
 	// a slot is bound to a node, onSlotRelease right after a node's slot
 	// is freed. They let a caller layer slot-indexed columnar state on
@@ -110,7 +100,7 @@ type Graph struct {
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{index: make(map[NodeID]int32), lastSlot: -1}
+	return &Graph{index: make(map[NodeID]int32)}
 }
 
 // Clone returns a deep copy of g.
@@ -126,7 +116,6 @@ func (g *Graph) Clone() *Graph {
 		freeCells: g.freeCells,
 		edges:     g.edges,
 		epoch:     g.epoch,
-		lastSlot:  -1,
 	}
 	for u, s := range g.index {
 		c.index[u] = s
@@ -496,17 +485,31 @@ func (g *Graph) AddEdgeMult(u, v NodeID, k int) {
 	if k <= 0 {
 		return
 	}
+	g.AddEdgeMultAt(g.slotOf(u), u, v, k)
+}
+
+// AddEdgeAt is the slot-native form of AddEdge: su must be u's live slot
+// (as handed out by SlotOf, ForEachNeighborAt, or a slot-assign hook).
+// Callers that already hold the slot skip the id->slot map probe — the
+// churn hot path resolves each endpoint's slot exactly once per operation
+// instead of once per edge.
+func (g *Graph) AddEdgeAt(su int32, u, v NodeID) { g.AddEdgeMultAt(su, u, v, 1) }
+
+// AddEdgeMultAt is the slot-native form of AddEdgeMult: su must be u's
+// live slot. v is created if absent. Unlike the historical one-entry
+// mutation cache this replaces, the slot is caller-owned state, so
+// concurrent mutation batches that are otherwise disjoint share no
+// hidden write.
+func (g *Graph) AddEdgeMultAt(su int32, u, v NodeID, k int) {
+	if k <= 0 {
+		return
+	}
 	if k > 1<<30 {
 		panic(fmt.Sprintf("graph: multiplicity %d exceeds the int32 arena domain", k))
 	}
 	k32 := int32(k)
 	g.maybeCompact()
 	g.epoch++
-	su := g.lastSlot
-	if su < 0 || g.lastID != u {
-		su = g.slotOf(u)
-		g.lastID, g.lastSlot = u, su
-	}
 	pos, ok := g.findNbr(su, v)
 	if ok {
 		// Existing pair: the run cell already stores v's slot, so both
@@ -549,19 +552,26 @@ func (g *Graph) RemoveEdge(u, v NodeID) bool { return g.RemoveEdgeMult(u, v, 1) 
 // the number actually removed (0 when the edge or either endpoint is
 // absent).
 func (g *Graph) RemoveEdgeMult(u, v NodeID, k int) int {
+	su, ok := g.index[u]
+	if !ok {
+		return 0
+	}
+	return g.RemoveEdgeMultAt(su, u, v, k)
+}
+
+// RemoveEdgeAt is the slot-native form of RemoveEdge: su must be u's live
+// slot. It reports whether an edge was removed.
+func (g *Graph) RemoveEdgeAt(su int32, u, v NodeID) bool {
+	return g.RemoveEdgeMultAt(su, u, v, 1) == 1
+}
+
+// RemoveEdgeMultAt is the slot-native form of RemoveEdgeMult: su must be
+// u's live slot. Returns the number of multiplicities actually removed.
+func (g *Graph) RemoveEdgeMultAt(su int32, u, v NodeID, k int) int {
 	if k <= 0 {
 		return 0
 	}
 	g.maybeCompact()
-	su := g.lastSlot
-	if su < 0 || g.lastID != u {
-		var ok bool
-		su, ok = g.index[u]
-		if !ok {
-			return 0
-		}
-		g.lastID, g.lastSlot = u, su
-	}
 	pos, ok := g.findNbr(su, v)
 	if !ok {
 		return 0
@@ -608,9 +618,6 @@ func (g *Graph) RemoveNode(u NodeID) {
 	*r = nodeRec{}
 	g.freeSlots = append(g.freeSlots, su)
 	delete(g.index, u)
-	if g.lastID == u {
-		g.lastSlot = -1 // slot freed; a recycled slot must not satisfy a cache hit
-	}
 	if g.onSlotRelease != nil {
 		g.onSlotRelease(u, su)
 	}
@@ -1090,11 +1097,6 @@ func (g *Graph) Validate() error {
 	}
 	if total != 2*g.edges {
 		return fmt.Errorf("graph: edge count mismatch: handshake sum %d, 2*edges %d", total, 2*g.edges)
-	}
-	if g.lastSlot >= 0 {
-		if s, ok := g.index[g.lastID]; !ok || s != g.lastSlot {
-			return fmt.Errorf("graph: lookup cache says %d -> slot %d, index disagrees", g.lastID, g.lastSlot)
-		}
 	}
 	// Arena disjointness: live runs and free-list runs must not overlap —
 	// an aliased run would let one node's insert silently rewrite another
