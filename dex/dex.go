@@ -156,6 +156,17 @@ type Network struct {
 // delivered synchronously while an operation runs, so a callback
 // calling Insert/Delete would re-enter the engine mid-step and corrupt
 // its recovery state. Such calls fail fast with ErrReentrantOp.
+//
+// The full discipline, machine-enforced by dexvet's guarddiscipline
+// analyzer (`make lint`): every exported *Network method that mutates
+// engine state — writes a façade field, calls any method on the WAL
+// (nw.log), or calls an engine method marked //dexvet:mutator in
+// internal/core, whether directly or through unexported helpers — must
+// call enterOp and pair it with a deferred exitOp in the same body.
+// Read-only accessors take no guard. The deliberate exceptions
+// (Subscribe, FreshID, LastRoot, Crash) each carry a
+// //dexvet:allow guarddiscipline annotation whose reason documents why
+// re-entrancy is safe there.
 func (nw *Network) enterOp() error {
 	if nw.inOp {
 		return ErrReentrantOp
@@ -415,6 +426,11 @@ func (nw *Network) OrphanRescues() int { return nw.eng.OrphanRescues() }
 
 // FreshID returns a never-used node id and advances the internal
 // counter; adversaries may instead supply their own ids to Insert.
+// Safe from event callbacks: the counter bump touches no recovery
+// state and is not WAL-recorded (replay re-derives it from the ids it
+// replays), so it deliberately skips the re-entrancy guard.
+//
+//dexvet:allow guarddiscipline FreshID only bumps the monotonic id counter — no recovery state, no WAL record; callbacks may mint ids for a later, non-re-entrant Insert
 func (nw *Network) FreshID() NodeID { return nw.eng.FreshID() }
 
 // SampleNode returns a uniformly random live node id in O(1), drawing
@@ -433,8 +449,15 @@ func (nw *Network) SampleNode(rng *rand.Rand) NodeID { return nw.eng.SampleNode(
 // Close releases the background worker pool created by WithWorkers, if
 // any, and — under WithPersistence — flushes any staged WAL batch and
 // closes the log, leaving the directory resumable. A serial,
-// non-persistent network never needs Close.
+// non-persistent network never needs Close. Close takes the
+// re-entrancy guard: closing from an event callback would flush a
+// half-applied operation's state into the WAL, the same hazard
+// Checkpoint guards against. Such calls fail with ErrReentrantOp.
 func (nw *Network) Close() error {
+	if err := nw.enterOp(); err != nil {
+		return err
+	}
+	defer nw.exitOp()
 	nw.eng.Close()
 	if nw.log != nil {
 		return nw.log.Close()

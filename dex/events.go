@@ -89,6 +89,14 @@ type subscriber struct {
 // synchronously, in registration order, on the goroutine performing the
 // mutation that produced the event. Callbacks must not mutate the
 // network re-entrantly.
+//
+// Subscribe (and the returned cancel) may be called from inside a
+// callback: publish iterates a pinned snapshot (subsSnap), so editing
+// the registry mid-delivery is safe by design and deliberately does
+// not take the enterOp guard — it touches only the subscriber list,
+// never the engine or the WAL.
+//
+//dexvet:allow guarddiscipline Subscribe only edits the subscriber registry; publish iterates a pinned snapshot, so re-entrant registration is safe by design
 func (nw *Network) Subscribe(fn func(Event)) (cancel func()) {
 	id := nw.nextSub
 	nw.nextSub++

@@ -159,6 +159,8 @@ func (nw *Network) Checkpoint() error {
 // checkpoints, so two replicas that processed the same step sequence
 // — even if one of them crash-recovered along the way — report the
 // same root. Zero without WithPersistence.
+//
+//dexvet:allow guarddiscipline Log.Root is a pure read of the in-memory MMR peaks; it moves no WAL state, so reading it from a callback observes the pre-operation root
 func (nw *Network) LastRoot() (root [32]byte, steps uint64) {
 	if nw.log == nil {
 		return root, 0
@@ -172,6 +174,8 @@ func (nw *Network) LastRoot() (root [32]byte, steps uint64) {
 // so the crash-recovery tests and fuzzer exercise genuine torn-tail
 // recovery. A crashed network must not be used further. No-op
 // without WithPersistence.
+//
+//dexvet:allow guarddiscipline Crash models a hard process kill — tearing whatever is in flight is exactly its contract, so the re-entrancy guard would defeat the simulation
 func (nw *Network) Crash() {
 	if nw.log != nil {
 		nw.log.Crash()

@@ -1,0 +1,131 @@
+// Package analysistest runs dexvet analyzers over fixture packages and
+// checks their findings against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on this repo's stdlib-only
+// framework.
+//
+// Fixtures live under testdata/src/<name>/ inside the analyzer's
+// package and are ordinary buildable members of this module (wildcard
+// patterns skip testdata directories, so they never leak into normal
+// builds or tests). A fixture line expecting a finding carries a
+// trailing comment:
+//
+//	badCall() // want "part of the expected message"
+//
+// Every finding must be wanted and every want must be found —
+// including findings from the "dexvet" pseudo-rule (malformed
+// directives). Because fixtures run through exactly the production
+// Run pipeline, //dexvet:allow comments in a fixture exercise the real
+// suppression semantics: a suppressed line simply carries no want.
+package analysistest
+
+import (
+	"go/ast"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture package pattern (relative to the module root)
+// and reports every mismatch between analyzer findings and // want
+// comments as test errors.
+func Run(t *testing.T, pattern string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(moduleRoot(t), pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("pattern %s matched no packages", pattern)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					wants = append(wants, parseWants(t, pkg, c)...)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Msg) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps of one `// want "a" "b"`
+// comment.
+func parseWants(t *testing.T, pkg *analysis.Package, c *ast.Comment) []*want {
+	t.Helper()
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*want
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		if rest[0] != '"' {
+			t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+		}
+		end := strings.Index(rest[1:], `"`)
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want pattern %q", pos.Filename, pos.Line, c.Text)
+		}
+		re, err := regexp.Compile(rest[1 : 1+end])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	return out
+}
+
+// moduleRoot locates the enclosing module from the test's working
+// directory (go test runs each test in its package directory).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" || gomod == "NUL" {
+		t.Fatalf("not inside a module (GOMOD=%q)", gomod)
+	}
+	return filepath.Dir(gomod)
+}

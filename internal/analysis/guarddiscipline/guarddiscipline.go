@@ -1,0 +1,355 @@
+// Package guarddiscipline enforces the dex façade's re-entrancy and
+// locking discipline at vet time — the rule class whose silent
+// violation produced PR 8's Checkpoint()-racing-Do() bug.
+//
+// Two checks, both over the package named "dex":
+//
+//  1. Every exported method on *Network that mutates engine state must
+//     take the enterOp/exitOp guard. "Mutates engine state" means the
+//     method (directly, or through unexported same-type helpers) writes
+//     a Network field, calls any method on the WAL (the `log` field's
+//     type), or calls an engine method marked //dexvet:mutator in
+//     internal/core. A method that calls enterOp must also defer
+//     exitOp in the same body.
+//
+//  2. Every exported method on *Concurrent that touches the wrapped
+//     network (the `nw` field) or the façade-owned sampling source
+//     (`rng`) must hold the façade mutex — directly, or by routing
+//     through a helper that locks it (op, locked, Snapshot, ...).
+//
+// False positives carry //dexvet:allow guarddiscipline <reason>; the
+// reason is mandatory and becomes the method's documented exemption.
+package guarddiscipline
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the guarddiscipline rule.
+var Analyzer = &analysis.Analyzer{
+	Name:    "guarddiscipline",
+	Doc:     "exported dex.Network mutators must take enterOp/exitOp; dex.Concurrent methods touching the wrapped network must hold the façade mutex",
+	Applies: func(pkg *analysis.Package) bool { return pkg.Name == "dex" },
+	Run:     run,
+}
+
+// fnInfo is what one function body contributes before the transitive
+// closure: its same-package callees plus the direct evidence found in
+// it. Function-literal bodies are excluded everywhere — a closure runs
+// when it is invoked, not when its enclosing method does.
+type fnInfo struct {
+	decl    *ast.FuncDecl
+	callees []*types.Func
+
+	guardNetwork bool   // calls <recv>.enterOp
+	deferExit    bool   // defers <recv>.exitOp
+	mutates      string // evidence: first engine-state mutation found
+
+	guardConc  bool   // locks a Concurrent's mu field
+	concAccess string // evidence: first c.nw / c.rng use
+}
+
+func run(pass *analysis.Pass) error {
+	pkg := pass.Pkg
+
+	netObj, _ := pkg.Types.Scope().Lookup("Network").(*types.TypeName)
+	if netObj == nil {
+		return nil // not a dex-shaped package
+	}
+	engNamed, walNamed := fieldTypes(netObj)
+	mutators, err := engineMutators(pkg, engNamed)
+	if err != nil {
+		return err
+	}
+
+	infos := map[*types.Func]*fnInfo{}
+	var order []*types.Func
+	for _, file := range pkg.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			infos[obj] = collect(pkg, fd, engNamed, walNamed, mutators)
+			order = append(order, obj)
+		}
+	}
+
+	// Transitive closure over same-package calls: guarding and mutating
+	// both propagate through helpers (Insert -> commitPersist -> WAL).
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range order {
+			in := infos[obj]
+			for _, callee := range in.callees {
+				c, ok := infos[callee]
+				if !ok {
+					continue
+				}
+				if c.guardNetwork && !in.guardNetwork {
+					in.guardNetwork = true
+					changed = true
+				}
+				if c.guardConc && !in.guardConc {
+					in.guardConc = true
+					changed = true
+				}
+				if c.mutates != "" && in.mutates == "" {
+					in.mutates = c.mutates + " (via " + callee.Name() + ")"
+					changed = true
+				}
+				if c.concAccess != "" && in.concAccess == "" {
+					in.concAccess = c.concAccess + " (via " + callee.Name() + ")"
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, obj := range order {
+		in := infos[obj]
+		fd := in.decl
+		recv := analysis.RecvTypeName(fd)
+		switch {
+		case recv == "Network" && fd.Name.IsExported() && in.mutates != "" && !in.guardNetwork:
+			pass.Reportf(fd.Name.Pos(),
+				"exported method (*Network).%s %s but never takes the enterOp/exitOp re-entrancy guard",
+				fd.Name.Name, in.mutates)
+		case recv == "Concurrent" && fd.Name.IsExported() && in.concAccess != "" && !in.guardConc:
+			pass.Reportf(fd.Name.Pos(),
+				"exported method (*Concurrent).%s %s without holding the façade mutex (lock mu, or route through op/locked)",
+				fd.Name.Name, in.concAccess)
+		}
+		// An enterOp without its paired deferred exitOp leaves the
+		// network permanently rejecting operations on any early return.
+		if directGuard(pkg, fd) && !in.deferExit {
+			pass.Reportf(fd.Name.Pos(),
+				"%s calls enterOp but never defers exitOp — an early return leaves the network wedged in the in-operation state",
+				fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// fieldTypes resolves the named types of Network's eng and log fields
+// (either may be nil when absent).
+func fieldTypes(netObj *types.TypeName) (eng, wal *types.Named) {
+	st, _ := netObj.Type().Underlying().(*types.Struct)
+	if st == nil {
+		return nil, nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "eng":
+			eng = analysis.NamedOf(f.Type())
+		case "log":
+			wal = analysis.NamedOf(f.Type())
+		}
+	}
+	return eng, wal
+}
+
+// engineMutators returns the names of the engine type's methods marked
+// //dexvet:mutator, reading the engine package's source (or this
+// package's, for self-contained fixtures).
+func engineMutators(pkg *analysis.Package, eng *types.Named) (map[string]bool, error) {
+	set := map[string]bool{}
+	if eng == nil || eng.Obj().Pkg() == nil {
+		return set, nil
+	}
+	var syntax []*ast.File
+	if p := eng.Obj().Pkg().Path(); p == pkg.Path {
+		syntax = pkg.Syntax
+	} else {
+		sp, err := pkg.LoadSyntax(p)
+		if err != nil {
+			return nil, fmt.Errorf("loading engine package for //dexvet:mutator markers: %w", err)
+		}
+		syntax = sp.Syntax
+	}
+	for _, file := range syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || analysis.RecvTypeName(fd) != eng.Obj().Name() {
+				continue
+			}
+			if analysis.HasDirective(fd, analysis.MutatorDirective) {
+				set[fd.Name.Name] = true
+			}
+		}
+	}
+	return set, nil
+}
+
+// recvObj returns the declared receiver variable, or nil.
+func recvObj(pkg *analysis.Package, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// directGuard reports whether fd's own body calls <recv>.enterOp.
+func directGuard(pkg *analysis.Package, fd *ast.FuncDecl) bool {
+	found := false
+	walkBody(fd.Body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "enterOp" {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// collect extracts one function body's direct evidence.
+func collect(pkg *analysis.Package, fd *ast.FuncDecl, eng, wal *types.Named, mutators map[string]bool) *fnInfo {
+	in := &fnInfo{decl: fd}
+	recv := recvObj(pkg, fd)
+
+	isRecvSel := func(e ast.Expr, field string) bool {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != field {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && recv != nil && pkg.Info.Uses[id] == recv
+	}
+
+	walkBody(fd.Body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if sel, ok := st.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "exitOp" {
+				in.deferExit = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if base := baseIdent(lhs); base != nil && recv != nil && pkg.Info.Uses[base] == recv {
+					if _, isIdent := lhs.(*ast.Ident); !isIdent {
+						if in.mutates == "" {
+							in.mutates = "writes " + exprString(lhs)
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if base := baseIdent(st.X); base != nil && recv != nil && pkg.Info.Uses[base] == recv {
+				if in.mutates == "" {
+					in.mutates = "writes " + exprString(st.X)
+				}
+			}
+		case *ast.SelectorExpr:
+			// Any touch of the wrapped network or the façade-owned
+			// sampling source from a Concurrent method.
+			if analysis.RecvTypeName(fd) == "Concurrent" && in.concAccess == "" &&
+				(isRecvSel(st, "nw") || isRecvSel(st, "rng")) {
+				in.concAccess = "touches c." + st.Sel.Name
+			}
+		case *ast.CallExpr:
+			fun := unparen(st.Fun)
+			switch f := fun.(type) {
+			case *ast.Ident:
+				if obj, ok := pkg.Info.Uses[f].(*types.Func); ok {
+					in.callees = append(in.callees, obj)
+				}
+			case *ast.SelectorExpr:
+				if sel := pkg.Info.Selections[f]; sel != nil {
+					if callee, ok := sel.Obj().(*types.Func); ok && callee.Pkg() == pkg.Types {
+						in.callees = append(in.callees, callee)
+					}
+					rt := analysis.NamedOf(sel.Recv())
+					switch {
+					case eng != nil && rt != nil && rt.Obj() == eng.Obj() && mutators[f.Sel.Name]:
+						if in.mutates == "" {
+							in.mutates = fmt.Sprintf("calls the engine mutator %s.%s", eng.Obj().Name(), f.Sel.Name)
+						}
+					case wal != nil && rt != nil && rt.Obj() == wal.Obj():
+						if in.mutates == "" {
+							in.mutates = fmt.Sprintf("calls %s.%s on the WAL, which an in-flight operation may be moving", wal.Obj().Name(), f.Sel.Name)
+						}
+					}
+				}
+				if f.Sel.Name == "enterOp" {
+					in.guardNetwork = true
+				}
+				// <conc>.mu.Lock() / RLock(): the façade mutex.
+				if f.Sel.Name == "Lock" || f.Sel.Name == "RLock" {
+					if inner, ok := unparen(f.X).(*ast.SelectorExpr); ok && inner.Sel.Name == "mu" {
+						if tv, ok := pkg.Info.Types[inner.X]; ok {
+							if n := analysis.NamedOf(tv.Type); n != nil && n.Obj().Name() == "Concurrent" && n.Obj().Pkg() == pkg.Types {
+								in.guardConc = true
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return in
+}
+
+// walkBody visits every node of body except function-literal bodies.
+func walkBody(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	default:
+		return "state"
+	}
+}

@@ -1,0 +1,12 @@
+package guarddiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/guarddiscipline"
+)
+
+func TestGuardDiscipline(t *testing.T) {
+	analysistest.Run(t, "repro/internal/analysis/guarddiscipline/testdata/src/dex", guarddiscipline.Analyzer)
+}

@@ -1,0 +1,148 @@
+// Package dex is the guarddiscipline fixture: a minimal reconstruction
+// of the façade shapes the analyzer polices. Checkpoint below
+// reconstructs the PR 8 bug — a WAL-touching exported method with no
+// re-entrancy guard — and must stay a finding forever.
+package dex
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// ErrReentrantOp mirrors the façade's sentinel.
+var ErrReentrantOp = errors.New("dex: re-entrant operation")
+
+// Engine stands in for the core engine.
+type Engine struct{ n int }
+
+// Insert mutates engine state.
+//
+//dexvet:mutator
+func (e *Engine) Insert() { e.n++ }
+
+// Size is a read accessor; calling it needs no guard.
+func (e *Engine) Size() int { return e.n }
+
+// WAL stands in for the persist log.
+type WAL struct{ roots int }
+
+func (w *WAL) Checkpoint() {}
+func (w *WAL) Root() int   { return w.roots }
+
+// Network mirrors the façade; the eng and log field names are
+// load-bearing for the analyzer.
+type Network struct {
+	eng   *Engine
+	log   *WAL
+	inOp  bool
+	steps int
+}
+
+func (nw *Network) enterOp() error {
+	if nw.inOp {
+		return ErrReentrantOp
+	}
+	nw.inOp = true
+	return nil
+}
+
+func (nw *Network) exitOp() { nw.inOp = false }
+
+// Checkpoint is the PR 8 regression shape: the WAL is touched with no
+// guard, so a checkpoint taken from an event callback would snapshot
+// half-applied state.
+func (nw *Network) Checkpoint() error { // want "calls WAL.Checkpoint on the WAL, which an in-flight operation may be moving but never takes the enterOp/exitOp re-entrancy guard"
+	nw.log.Checkpoint()
+	return nil
+}
+
+// GoodCheckpoint is the fixed shape.
+func (nw *Network) GoodCheckpoint() error {
+	if err := nw.enterOp(); err != nil {
+		return err
+	}
+	defer nw.exitOp()
+	nw.log.Checkpoint()
+	return nil
+}
+
+// Grow mutates the engine through an unexported helper; the evidence
+// must survive the transitive closure.
+func (nw *Network) Grow() { // want "calls the engine mutator Engine.Insert .via applyInsert. but never takes the enterOp/exitOp re-entrancy guard"
+	nw.applyInsert()
+}
+
+func (nw *Network) applyInsert() { nw.eng.Insert() }
+
+// GoodGrow guards in the wrapper while the helper mutates.
+func (nw *Network) GoodGrow() error {
+	if err := nw.enterOp(); err != nil {
+		return err
+	}
+	defer nw.exitOp()
+	nw.applyInsert()
+	return nil
+}
+
+// Bump writes a façade field directly.
+func (nw *Network) Bump() { // want "writes nw.steps but never takes the enterOp/exitOp re-entrancy guard"
+	nw.steps++
+}
+
+// Size only reads; no guard required.
+func (nw *Network) Size() int { return nw.eng.Size() }
+
+// BadRelease takes the guard but forgets to defer the release: any
+// early return wedges the network.
+func (nw *Network) BadRelease() error { // want "calls enterOp but never defers exitOp"
+	if err := nw.enterOp(); err != nil {
+		return err
+	}
+	nw.steps++
+	nw.exitOp()
+	return nil
+}
+
+// Allowed documents its exemption; the annotation suppresses the
+// finding for the whole method.
+//
+//dexvet:allow guarddiscipline fixture: exercises the documented-exemption path
+func (nw *Network) Allowed() { nw.steps++ }
+
+// Concurrent mirrors the concurrent façade.
+type Concurrent struct {
+	mu  sync.Mutex
+	nw  *Network
+	rng *rand.Rand
+}
+
+// op routes a call under the façade mutex; routing through it counts
+// as holding the lock.
+func (c *Concurrent) op(f func(nw *Network) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return f(c.nw)
+}
+
+// Steps reads the wrapped network with no lock.
+func (c *Concurrent) Steps() int { // want "touches c.nw without holding the façade mutex"
+	return c.nw.Size()
+}
+
+// LockedSteps holds the mutex directly.
+func (c *Concurrent) LockedSteps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nw.Size()
+}
+
+// RoutedGrow goes through op, which locks.
+func (c *Concurrent) RoutedGrow() error {
+	return c.op(func(nw *Network) error { return nw.GoodGrow() })
+}
+
+// Sample draws from the façade-owned source with no lock.
+func (c *Concurrent) Sample() int { // want "touches c.rng without holding the façade mutex"
+	return c.rng.Intn(2)
+}

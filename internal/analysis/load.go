@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, type-checked target package.
+type Package struct {
+	Path  string   // import path
+	Name  string   // package name
+	Dir   string   // absolute source directory
+	Files []string // absolute paths of the non-test Go files
+
+	Fset   *token.FileSet
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	// ModDir is the module root the package was loaded from; noalloc
+	// runs the compiler there.
+	ModDir string
+
+	loader *loader
+}
+
+// A SyntaxPackage is a parse-only view of a package (comments, no type
+// information). Fact-gathering analyzers use it to read annotation
+// markers out of a dependency's source without the cost of
+// type-checking it as a target.
+type SyntaxPackage struct {
+	Path   string
+	Name   string
+	Fset   *token.FileSet
+	Syntax []*ast.File
+}
+
+// LoadSyntax parses (without type-checking) the in-module package with
+// the given import path. Used by guarddiscipline to read
+// //dexvet:mutator markers from the engine package while analyzing the
+// façade.
+func (p *Package) LoadSyntax(importPath string) (*SyntaxPackage, error) {
+	return p.loader.loadSyntax(importPath)
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+type loader struct {
+	modDir   string
+	fset     *token.FileSet
+	byPath   map[string]*listPkg
+	imp      types.Importer
+	synCache map[string]*SyntaxPackage
+}
+
+// Load lists patterns with the go command (building export data for
+// every dependency) and returns the matched packages parsed and
+// type-checked from source. Test files are not analyzed: dexvet lints
+// the product code the invariants protect.
+func Load(modDir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	ld := &loader{
+		modDir:   modDir,
+		fset:     token.NewFileSet(),
+		byPath:   map[string]*listPkg{},
+		synCache: map[string]*SyntaxPackage{},
+	}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		ld.byPath[p.ImportPath] = p
+		if !p.Standard && !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	ld.imp = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		lp, ok := ld.byPath[path]
+		if !ok || lp.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	})
+
+	// `go list -deps` emits dependencies before dependents, so loading
+	// in stream order keeps every import's export data available.
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := ld.typeCheck(t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func (ld *loader) parse(t *listPkg) ([]*ast.File, []string, error) {
+	var (
+		files []*ast.File
+		paths []string
+	)
+	for _, name := range t.GoFiles {
+		path := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(ld.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+	}
+	return files, paths, nil
+}
+
+func (ld *loader) typeCheck(t *listPkg) (*Package, error) {
+	files, paths, err := ld.parse(t)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld.imp}
+	tpkg, err := conf.Check(t.ImportPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		Path:   t.ImportPath,
+		Name:   t.Name,
+		Dir:    t.Dir,
+		Files:  paths,
+		Fset:   ld.fset,
+		Syntax: files,
+		Types:  tpkg,
+		Info:   info,
+		ModDir: ld.modDir,
+		loader: ld,
+	}, nil
+}
+
+func (ld *loader) loadSyntax(importPath string) (*SyntaxPackage, error) {
+	if sp, ok := ld.synCache[importPath]; ok {
+		return sp, nil
+	}
+	t, ok := ld.byPath[importPath]
+	if !ok {
+		return nil, fmt.Errorf("package %q is not in the load set", importPath)
+	}
+	files, _, err := ld.parse(t)
+	if err != nil {
+		return nil, err
+	}
+	sp := &SyntaxPackage{Path: t.ImportPath, Name: t.Name, Fset: ld.fset, Syntax: files}
+	ld.synCache[importPath] = sp
+	return sp, nil
+}

@@ -1,0 +1,56 @@
+// Package fixture exercises the noalloc analyzer against the real
+// compiler's escape analysis.
+package fixture
+
+import "fmt"
+
+type big struct{ a [128]int64 }
+
+// leaky returns a heap pointer from an annotated function: the
+// canonical violation.
+//
+//dexvet:noalloc
+func leaky() *big {
+	return &big{} // want "heap escape in //dexvet:noalloc function leaky"
+}
+
+// hot is the shape the annotation exists for: pure stack arithmetic.
+//
+//dexvet:noalloc
+func hot(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// guarded allocates only inside a panic argument — the process is
+// dying, so the panic-path exemption applies.
+//
+//dexvet:noalloc
+func guarded(i int) int {
+	if i < 0 {
+		panic(fmt.Sprintf("negative index %d", i))
+	}
+	return i * 2
+}
+
+// sink keeps coldBranch's allocation escaping.
+var sink *big
+
+// coldBranch documents a legitimate cold-path allocation with the
+// line-level escape hatch.
+//
+//dexvet:noalloc
+func coldBranch(grow bool) {
+	if grow {
+		//dexvet:allow noalloc fixture: arena growth is the documented cold branch
+		sink = &big{}
+	}
+}
+
+// plain is unannotated: it may allocate freely.
+func plain() *big {
+	return &big{}
+}

@@ -1,0 +1,12 @@
+package slotmut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/slotmut"
+)
+
+func TestSlotMut(t *testing.T) {
+	analysistest.Run(t, "repro/internal/analysis/slotmut/testdata/src/core", slotmut.Analyzer)
+}

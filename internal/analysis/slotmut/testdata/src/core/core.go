@@ -1,0 +1,69 @@
+// Package core is the slotmut fixture. churn reconstructs the call
+// shape whose cost the retired PR 4 one-entry mutation cache tried to
+// hide: the id->slot probe already ran, yet the id-keyed mutator runs
+// it again instead of using the slot-native *At form.
+package core
+
+// NodeID mirrors the graph arena's id type.
+type NodeID int64
+
+// Graph mirrors the arena's mutator surface; the type name is what the
+// analyzer keys on.
+type Graph struct{ index map[NodeID]int32 }
+
+func (g *Graph) SlotOf(u NodeID) (int32, bool) { s, ok := g.index[u]; return s, ok }
+
+func (g *Graph) AddEdge(u, v NodeID)               {}
+func (g *Graph) AddEdgeAt(s int32, v NodeID)       {}
+func (g *Graph) RemoveEdge(u, v NodeID)            {}
+func (g *Graph) RemoveEdgeAt(s int32, v NodeID)    {}
+func (g *Graph) AddEdgeMult(u, v NodeID, k int)    {}
+func (g *Graph) RemoveEdgeMult(u, v NodeID, k int) {}
+
+// churn holds a's slot and still mutates by id — both endpoints count.
+func churn(g *Graph, a, b NodeID) {
+	s, ok := g.SlotOf(a)
+	if !ok {
+		return
+	}
+	_ = s
+	g.AddEdge(a, b)    // want "use the slot-native AddEdgeAt form"
+	g.RemoveEdge(b, a) // want "use the slot-native RemoveEdgeAt form"
+}
+
+// churnMult covers the multiplicity forms.
+func churnMult(g *Graph, a, b NodeID) {
+	if _, ok := g.SlotOf(a); !ok {
+		return
+	}
+	g.AddEdgeMult(a, b, 2) // want "use the slot-native AddEdgeMultAt form"
+}
+
+// scratch has no slot in hand: the id-keyed form is correct.
+func scratch(g *Graph, a, b NodeID) {
+	g.AddEdge(a, b)
+}
+
+// probeAfter resolves the slot only after the mutation: no finding —
+// nothing was in hand at the call.
+func probeAfter(g *Graph, a, b NodeID) {
+	g.AddEdge(a, b)
+	_, _ = g.SlotOf(a)
+}
+
+// otherID mutates ids whose slots were never resolved.
+func otherID(g *Graph, a, b, c NodeID) {
+	if _, ok := g.SlotOf(a); !ok {
+		return
+	}
+	g.AddEdge(b, c)
+}
+
+// allowed keeps an id-keyed call with a documented reason.
+func allowed(g *Graph, a, b NodeID) {
+	if _, ok := g.SlotOf(a); !ok {
+		return
+	}
+	//dexvet:allow slotmut fixture: exercises the escape hatch
+	g.AddEdge(a, b)
+}

@@ -1,0 +1,23 @@
+// Package directives is the fixture for directive validation: every
+// malformed //dexvet: comment below must come back as a finding under
+// the unsuppressible "dexvet" pseudo-rule.
+package directives
+
+//dexvet:allow stub
+func missingReason() {}
+
+//dexvet:allow nosuchrule because reasons
+func unknownRule() {}
+
+//dexvet:frobnicate
+func unknownDirective() {}
+
+func floating() {
+	//dexvet:noalloc
+	_ = 1
+}
+
+// valid carries a well-formed allow; it must produce no finding.
+//
+//dexvet:allow stub fixture: well-formed directive
+func valid() {}

@@ -30,6 +30,8 @@ type InsertSpec struct {
 const maxAttachFanIn = 8
 
 // InsertBatch performs one adversarial step inserting all specs at once.
+//
+//dexvet:mutator
 func (nw *Network) InsertBatch(specs []InsertSpec) error {
 	if len(specs) == 0 {
 		return nil
@@ -79,6 +81,8 @@ func (nw *Network) insertOneOfBatch(s InsertSpec) {
 
 // DeleteBatch performs one adversarial step deleting all ids at once,
 // enforcing Section 5's connectivity conditions.
+//
+//dexvet:mutator
 func (nw *Network) DeleteBatch(ids []NodeID) error {
 	if len(ids) == 0 {
 		return nil

@@ -34,6 +34,8 @@ func (nw *Network) CheckInvariants() error { return nw.checkInvariants(true) }
 // source (the fuzzer's biasedSource) legitimately voids through the
 // tolerated walk-exhaustion paths. Such runs still must keep the
 // structure exact — enforceLoadBounds=false checks exactly that.
+//
+//dexvet:allow determinism audit-only: any violation fails the check; which of several violations is reported first is immaterial and never feeds back into engine state
 func (nw *Network) checkInvariants(enforceLoadBounds bool) error {
 	if err := nw.real.Validate(); err != nil {
 		return fmt.Errorf("I1: %w", err)

@@ -416,6 +416,8 @@ func (nw *Network) OrphanRescues() int { return nw.orphanRescues }
 
 // FreshID returns an unused node id and advances the internal counter;
 // adversaries may instead supply their own ids to Insert.
+//
+//dexvet:mutator
 func (nw *Network) FreshID() NodeID {
 	id := nw.nextID
 	nw.nextID++
@@ -438,6 +440,8 @@ func (nw *Network) SampleNode(r *rand.Rand) NodeID {
 // step's net real-edge changes as a batched, deterministically sorted
 // diff (nil to clear). Only net changes are reported: an edge added and
 // removed within one step cancels out.
+//
+//dexvet:mutator
 func (nw *Network) SetEdgeObserver(f func(step int, deltas []graph.EdgeDelta)) {
 	nw.edgeObserver = f
 	if f != nil && nw.edgeDeltas == nil {
@@ -595,6 +599,8 @@ func (nw *Network) rawRemoveEdge(a, b NodeID) {
 // node's slot once and reuses it for the whole three-edge batch, instead
 // of paying an id->slot map probe inside every graph mutation. The graph
 // treats {a,b} symmetrically, so anchoring on either endpoint is valid.
+//
+//dexvet:noalloc
 func (nw *Network) rawAddEdgeAt(a NodeID, sa int32, b NodeID) {
 	nw.real.AddEdgeAt(sa, a, b)
 	nw.st.markDirtyAt(a, sa)
@@ -604,6 +610,7 @@ func (nw *Network) rawAddEdgeAt(a NodeID, sa int32, b NodeID) {
 	}
 }
 
+//dexvet:noalloc
 func (nw *Network) rawRemoveEdgeAt(a NodeID, sa int32, b NodeID) {
 	if !nw.real.RemoveEdgeAt(sa, a, b) {
 		panic(fmt.Sprintf("core: removing absent real edge {%d,%d}", a, b))
@@ -657,11 +664,14 @@ func (nw *Network) removeRealEdge(a, b NodeID) {
 }
 
 // addRealEdgeAt / removeRealEdgeAt: slot-native counterparts.
+//
+//dexvet:noalloc
 func (nw *Network) addRealEdgeAt(a NodeID, sa int32, b NodeID) {
 	nw.rawAddEdgeAt(a, sa, b)
 	nw.step.TopologyChanges++
 }
 
+//dexvet:noalloc
 func (nw *Network) removeRealEdgeAt(a NodeID, sa int32, b NodeID) {
 	nw.rawRemoveEdgeAt(a, sa, b)
 	nw.step.TopologyChanges++
@@ -732,6 +742,8 @@ func (nw *Network) moveVertex(x Vertex, w NodeID) {
 
 // SetTransferObserver registers a callback fired after each
 // current-cycle vertex migration (nil to clear).
+//
+//dexvet:mutator
 func (nw *Network) SetTransferObserver(f func(x Vertex, from, to NodeID)) {
 	nw.transferObserver = f
 }
@@ -740,6 +752,8 @@ func (nw *Network) SetTransferObserver(f func(x Vertex, from, to NodeID)) {
 // deterministic (the balanced virtual mapping draws no coins), so
 // swapping the source right after New yields a network whose every
 // random choice comes from r.
+//
+//dexvet:mutator
 func (nw *Network) SetRNG(r *rand.Rand) {
 	if r != nil {
 		nw.rng = r
@@ -749,6 +763,8 @@ func (nw *Network) SetRNG(r *rand.Rand) {
 
 // SetRebuildObserver registers a callback fired after each virtual-graph
 // replacement with the new modulus (nil to clear).
+//
+//dexvet:mutator
 func (nw *Network) SetRebuildObserver(f func(pNew int64)) {
 	nw.rebuildObserver = f
 }
@@ -888,6 +904,8 @@ func (nw *Network) drawU64() uint64 {
 // SetSeedObserver registers a callback fired with every walk seed as it
 // is consumed, in serial commit order (nil to clear). The callback must
 // not reenter the network.
+//
+//dexvet:mutator
 func (nw *Network) SetSeedObserver(f func(seed uint64)) {
 	nw.seedObserver = f
 }
@@ -904,6 +922,8 @@ func (nw *Network) runWalk(start NodeID, exclude NodeID, stop func(NodeID, int32
 
 // runWalkAt is runWalk with the start's slot already resolved: the whole
 // walk — stepping, stop predicate, cost charge — touches no id→slot map.
+//
+//dexvet:noalloc
 func (nw *Network) runWalkAt(start NodeID, startSlot int32, exclude NodeID, stop func(NodeID, int32) bool) congest.WalkResult {
 	res := congest.RandomWalkDirectAt(nw.real, start, startSlot, exclude, nw.walkLen(), nw.walkSeed(), stop)
 	nw.step.Rounds += res.Steps

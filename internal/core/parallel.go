@@ -73,6 +73,8 @@ func (nw *Network) walkPool() *congest.WalkPool {
 // The network remains fully usable — a later parallel batch recreates
 // the pool on demand — and serial networks (Workers <= 1) never need
 // Close at all.
+//
+//dexvet:mutator
 func (nw *Network) Close() {
 	if nw.pool != nil {
 		nw.pool.Close()

@@ -54,6 +54,8 @@ type PipelinedInsert struct {
 // stable copy of the first k. The FIFO itself is consumed by walkSeed
 // during the window's serial commits, so the copy tells the scheduler
 // which seed the serial path will draw at each future offset.
+//
+//dexvet:mutator
 func (nw *Network) PredrawSeeds(k int) []uint64 {
 	nw.pipeSeedBuf = nw.predrawSeedsInto(nw.pipeSeedBuf, k)
 	return nw.pipeSeedBuf
@@ -82,6 +84,8 @@ func (nw *Network) pipeStopAt(j int) func(NodeID, int32) bool {
 // Ops whose attach point is missing, or any window taken mid-stagger
 // (the staggered predicates depend on per-op phase state), are left
 // unspeculated — their commits simply run the serial walk.
+//
+//dexvet:mutator
 func (nw *Network) SpeculateInserts(ops []*PipelinedInsert) {
 	for _, op := range ops {
 		op.ok = false
@@ -132,9 +136,13 @@ func (nw *Network) SpeculateInserts(ops []*PipelinedInsert) {
 // ArmPipeline resets and arms the pipeline-window write-set; every slot
 // a subsequent commit touches (including slots assigned or recycled by
 // inserts and deletes) is stamped until DisarmPipeline.
+//
+//dexvet:mutator
 func (nw *Network) ArmPipeline() { nw.st.armPipe() }
 
 // DisarmPipeline stops recording at the end of a pipelined commit window.
+//
+//dexvet:mutator
 func (nw *Network) DisarmPipeline() { nw.st.disarmPipe() }
 
 // pipeDisturbed reports whether any slot the speculative walk visited
@@ -156,6 +164,8 @@ func (nw *Network) pipeDisturbed(visited []int32) bool {
 // because the insert's own self-touches (node registration, temp edge)
 // land before the walk and must not count as conflicts. No-op for
 // unspeculated ops.
+//
+//dexvet:mutator
 func (nw *Network) InjectFirstAttempt(op *PipelinedInsert) {
 	if !op.ok {
 		return
@@ -172,6 +182,8 @@ func (nw *Network) InjectFirstAttempt(op *PipelinedInsert) {
 
 // ClearInjectedAttempt drops a staged speculation that was not consumed
 // (the op failed validation before reaching its first walk).
+//
+//dexvet:mutator
 func (nw *Network) ClearInjectedAttempt() { nw.pipeAttempt = nil }
 
 // AuditPrelude is the window-level half of Audit(AuditSampled): store

@@ -694,6 +694,10 @@ func (st *state) dirtyCount() int {
 }
 
 // forEachDirty visits the step's dirty nodes until f returns false.
+// Visit order is unspecified (map order on the oracle backend) and
+// part of the contract: callers aggregate or audit per node.
+//
+//dexvet:allow determinism oracle backend only; visit order is documented as unspecified and every caller is a per-node aggregate or audit
 func (st *state) forEachDirty(f func(u NodeID) bool) {
 	if m := st.m; m != nil {
 		for u := range m.dirty {
@@ -943,6 +947,8 @@ func (st *state) setMax(u NodeID, nxt bool) Vertex {
 // setForEach visits the selected set until f returns false (ascending
 // for the dense backend, unordered for the oracle — every caller is
 // order-independent).
+//
+//dexvet:allow determinism oracle backend only; the dense backend visits ascending and callers are documented order-independent, which the differential oracle itself verifies
 func (st *state) setForEach(u NodeID, nxt bool, f func(x Vertex) bool) {
 	if m := st.m; m != nil {
 		for x := range m.sets(nxt)[u] {

@@ -11,6 +11,8 @@ import (
 // creates node id and attaches it to the existing node attach. DEX then
 // finds a spare virtual vertex via random walks (type-1) or rebuilds the
 // virtual graph (type-2) and assigns the new node at least one vertex.
+//
+//dexvet:mutator
 func (nw *Network) Insert(id, attach NodeID) error {
 	if nw.st.has(id) || nw.real.HasNode(id) {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
@@ -137,6 +139,8 @@ func (nw *Network) donateVertexTo(donor, id NodeID) {
 // Delete handles an adversarial deletion (Algorithm 4.3): node id leaves;
 // a surviving neighbor v adopts its virtual vertices and then
 // redistributes them via random walks to nodes in Low.
+//
+//dexvet:mutator
 func (nw *Network) Delete(id NodeID) error {
 	if !nw.st.has(id) {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)

@@ -240,6 +240,7 @@ func (nw *Network) rebalanceWalks(pv *provisional, excess func(NodeID) int, acce
 	for epoch := 0; ; epoch++ {
 		var heavy []NodeID
 		for u := range pv.verts {
+			//dexvet:allow determinism excess is a pure load query; the collected set is sorted before any token moves
 			if excess(u) > 0 {
 				heavy = append(heavy, u)
 			}
@@ -275,6 +276,7 @@ func (nw *Network) rebalanceWalks(pv *provisional, excess func(NodeID) int, acce
 func (nw *Network) fallbackRebalance(pv *provisional, heavy []NodeID, excess func(NodeID) int, accepts func(NodeID) bool) {
 	var sinks []NodeID
 	for u := range pv.verts {
+		//dexvet:allow determinism accepts is a pure capacity predicate; the collected set is sorted before any token moves
 		if accepts(u) {
 			sinks = append(sinks, u)
 		}

@@ -237,6 +237,8 @@ func (g *Graph) slotOf(u NodeID) int32 {
 // linear scan over the sorted cells beats binary search's mispredicted
 // halving; larger runs narrow by binary search first so the scan stays
 // bounded.
+//
+//dexvet:noalloc
 func (g *Graph) findNbr(s int32, v NodeID) (int32, bool) {
 	r := &g.recs[s]
 	run := g.poolV[r.off : r.off+r.n]
@@ -663,6 +665,8 @@ func (g *Graph) DistinctDegree(u NodeID) int {
 // NodeID order (including u itself when u has a self-loop) with the
 // multiplicity of the connecting edge, stopping early if fn returns false.
 // It reads the arena in place and never allocates; fn must not mutate g.
+//
+//dexvet:noalloc
 func (g *Graph) ForEachNeighbor(u NodeID, fn func(v NodeID, mult int) bool) {
 	s, ok := g.index[u]
 	if !ok {
@@ -681,6 +685,8 @@ func (g *Graph) ForEachNeighbor(u NodeID, fn func(v NodeID, mult int) bool) {
 // hands fn each neighbor's slot alongside its id, so slot-indexed side
 // tables are reachable with no map probe. Same order, same zero-alloc
 // contract.
+//
+//dexvet:noalloc
 func (g *Graph) ForEachNeighborAt(s int32, fn func(v NodeID, vs int32, mult int) bool) {
 	r := g.recs[s]
 	for i := r.off; i < r.off+r.n; i++ {
@@ -699,6 +705,8 @@ func (g *Graph) ForEachNeighborAt(s int32, fn func(v NodeID, vs int32, mult int)
 // the historical sorted-slice implementation — seeded walks reproduce
 // exactly. Walk loops that already hold the current node's slot should
 // use RandomNeighborStepAt, which skips this id->slot resolution.
+//
+//dexvet:noalloc
 func (g *Graph) RandomNeighborStep(u, exclude NodeID, r uint64) (NodeID, bool) {
 	s, ok := g.index[u]
 	if !ok {
@@ -713,6 +721,8 @@ func (g *Graph) RandomNeighborStep(u, exclude NodeID, r uint64) (NodeID, bool) {
 // must be live), and returns the chosen neighbor's slot alongside its id
 // so the walk can keep stepping — and its stop predicate can index
 // slot-keyed state — without ever touching the id->slot map.
+//
+//dexvet:noalloc
 func (g *Graph) RandomNeighborStepAt(s int32, exclude NodeID, r uint64) (NodeID, int32, bool) {
 	rec := g.recs[s]
 	lo, hi := rec.off, rec.off+rec.n
@@ -909,6 +919,7 @@ func (g *Graph) Connected() bool {
 	}
 	var src NodeID
 	for u := range g.index {
+		//dexvet:allow determinism any start node yields the same connectivity verdict; src never leaves this function
 		src = u
 		break
 	}
@@ -960,6 +971,7 @@ func (g *Graph) Eccentricity(src NodeID) int {
 func (g *Graph) Quotient(phi func(NodeID) NodeID) *Graph {
 	q := New()
 	for u := range g.index {
+		//dexvet:allow determinism phi is a pure mapping and AddNode is an idempotent set insert, so the built node set is order-independent
 		q.AddNode(phi(u))
 	}
 	for _, e := range g.Edges() {
@@ -1042,6 +1054,8 @@ func (g *Graph) Stats() ArenaStats {
 // symmetry, cached degree accounting, and the handshake identity — for
 // use in tests and the DEX invariant checker. It returns an error
 // describing the first inconsistency found.
+//
+//dexvet:allow determinism audit-only: any inconsistency fails validation; which of several is reported first is immaterial and never feeds back into engine state
 func (g *Graph) Validate() error {
 	total := 0
 	for u, s := range g.index {

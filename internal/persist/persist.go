@@ -257,6 +257,8 @@ func (l *Log) Begin(eng *core.Network) error {
 // Append stages one operation record, folds its step metrics into the
 // history digest, and flushes according to the group-commit setting.
 // Steady-state appends allocate nothing.
+//
+//dexvet:noalloc
 func (l *Log) Append(rec *OpRecord) error {
 	if l.closed {
 		return errClosed

@@ -54,6 +54,7 @@ func (r *OpRecord) reset() {
 	r.Metrics = core.StepMetrics{}
 }
 
+//dexvet:noalloc
 func (r *OpRecord) appendBinary(enc *wire.Encoder) {
 	enc.Byte(byte(r.Op))
 	enc.Varint(int64(r.ID))
