@@ -8,7 +8,7 @@ FUZZTIME ?= 30s
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test test-race vet fmt lint check bench bench-graph bench-core bench-recovery bench-json bench-diff fuzz fuzz-churn fuzz-graph fuzz-crash sim sim-scale dht experiments
+.PHONY: all build test test-race vet fmt lint check bench bench-graph bench-core bench-recovery bench-json bench-diff profile-churn fuzz fuzz-churn fuzz-graph fuzz-crash sim sim-scale dht experiments
 
 all: check
 
@@ -110,9 +110,10 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_graph.json
 
 # Thresholded benchmark ratchet: regenerate fresh measurements and diff
-# them against the committed baselines. The walk-hop and recovery-op
-# rows fail on >10% ns/op drift or any allocs/op increase; all other
-# rows are report-only (runner noise makes a blanket hard gate hostile).
+# them against the committed baselines. The walk-hop, graph-churn,
+# recovery-op, and pipelined-churn rows fail on >10% ns/op drift or any
+# allocs/op increase; all other rows are report-only (runner noise makes
+# a blanket hard gate hostile).
 bench-diff:
 	$(GO) test ./internal/core -run '^$$' \
 		-bench 'RecoveryOp/dense' -benchtime 200x -benchmem -count 6 -timeout 20m \
@@ -127,9 +128,26 @@ bench-diff:
 		-bench 'WalkHop|GraphChurn' -benchtime 2000000x -benchmem -count 3 \
 		| $(GO) run ./cmd/benchjson > /tmp/bench_graph_fresh.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_core.json -fresh /tmp/bench_core_fresh.json \
-		-gate 'BenchmarkRecoveryOp/dense/n=100000'
+		-gate 'BenchmarkRecoveryOp/dense/n=100000,BenchmarkConcurrentChurn/pipelined/c=1'
 	$(GO) run ./cmd/benchdiff -baseline BENCH_graph.json -fresh /tmp/bench_graph_fresh.json \
-		-gate 'BenchmarkWalkHop'
+		-gate 'BenchmarkWalkHop,BenchmarkGraphChurn'
+
+# Churn-trace profiling: a CPU + allocation pprof pair for the engine's
+# steady-state churn hot path — the profile that motivated PR 10's
+# findNbr fence and insert fast path. Artifacts land in profiles/
+# (the directory is committed, its contents are git-ignored); inspect
+# with `go tool pprof profiles/churn_cpu.pprof`. CI runs this with
+# PROFILE_BENCHTIME=20x and PROFILE_FLAGS=-short purely as a
+# does-the-target-still-build-and-run smoke, so the profiling recipe
+# cannot rot.
+PROFILE_BENCHTIME ?= 200x
+PROFILE_FLAGS ?=
+
+profile-churn:
+	@mkdir -p profiles
+	$(GO) test ./internal/core -run '^$$' -bench 'RecoveryOp/dense/n=100000' \
+		-benchtime $(PROFILE_BENCHTIME) -timeout 20m $(PROFILE_FLAGS) \
+		-cpuprofile profiles/churn_cpu.pprof -memprofile profiles/churn_alloc.pprof
 
 # Differential fuzzing, one target per oracle tier: FuzzChurnTrace
 # replays decoded operation traces under the incremental-vs-full-rebuild

@@ -24,7 +24,10 @@ import (
 //     speculates every admitted insert's first-attempt walk concurrently
 //     against the current overlay (core.SpeculateInserts), predicting each
 //     op's walk seed (serial FIFO offset) and walk length (network size at
-//     execution).
+//     execution). Admitted deletes are speculated too
+//     (core.SpeculateDeletes): in the dense regime their redistribution
+//     walks provably never leave the adopting neighbor, so the whole
+//     outcome is predicted without walking.
 //   - Phase B: commits the window strictly in admission (ticket) order
 //     through the ordinary serial entry points, injecting each insert's
 //     speculation just before it runs. The engine's epoch-stamped
@@ -58,6 +61,7 @@ type pipeReq struct {
 	fn         func(*Network) error
 	rec        *AdmittedOp           // reported to the admission observer on success
 	spec       *core.PipelinedInsert // filled during Phase A for speculated inserts
+	dspec      *core.PipelinedDelete // filled during Phase A for speculated deletes
 	errc       chan error
 }
 
@@ -88,10 +92,11 @@ type pipeScheduler struct {
 	observer func(AdmittedOp)
 
 	// Window scratch, reused across windows.
-	batch    []*pipeReq
-	carriers []*core.PipelinedInsert
-	offsets  []int
-	winIns   []NodeID // ids inserted earlier in the current window
+	batch       []*pipeReq
+	carriers    []*core.PipelinedInsert
+	delCarriers []*core.PipelinedDelete
+	offsets     []int
+	winIns      []NodeID // ids inserted earlier in the current window
 
 	// Deferred sampled-audit state: targets captured after each commit
 	// of window W are verified (in parallel) during window W+1's Phase A.
@@ -191,7 +196,10 @@ func (s *pipeScheduler) flushAudit() {
 
 // speculate is Phase A's second half: predict each admitted insert's
 // seed (FIFO offset), walk length (size at execution), and run the
-// first-attempt walks concurrently. Prediction walks the window in
+// first-attempt walks concurrently; predict each admitted delete's
+// redistribution outcome (core.SpeculateDeletes — a dense-regime proof
+// that the orphan walks never leave the adopter, so no walk needs to
+// run and no seed needs pinning). Prediction walks the window in
 // ticket order — an insert consumes one seed, a delete one per
 // redistributed vertex (its current load), anything else an unknowable
 // number, which ends prediction for the rest of the window. Every
@@ -202,7 +210,7 @@ func (s *pipeScheduler) speculate(batch []*pipeReq) {
 	eng := s.c.nw.eng
 	nPred := eng.Size()
 	offset, known := 0, true
-	ins := 0
+	ins, dels := 0, 0
 	s.offsets = s.offsets[:0]
 	s.winIns = s.winIns[:0]
 	for _, r := range batch {
@@ -228,26 +236,41 @@ func (s *pipeScheduler) speculate(batch []*pipeReq) {
 				// to Load yet; it will carry the one vertex its insert walk
 				// donates, so its deletion redistributes one walk.
 				load := eng.Load(r.id)
+				winBorn := false
 				for _, id := range s.winIns {
 					if id == r.id {
-						load = 1
+						load, winBorn = 1, true
 						break
 					}
 				}
 				offset += load
+				// Window-born victims don't exist at Phase A — nothing to
+				// read a prediction from; they drain through the serial
+				// walks, as do victims with no live state (bad ids).
+				if !winBorn && load > 0 {
+					if dels == len(s.delCarriers) {
+						s.delCarriers = append(s.delCarriers, &core.PipelinedDelete{})
+					}
+					op := s.delCarriers[dels]
+					op.ID, op.SizeAtExec = r.id, nPred
+					r.dspec = op
+					dels++
+				}
 			}
 		default:
 			known = false
 		}
 	}
-	if ins == 0 {
-		return
+	if ins > 0 {
+		seeds := eng.PredrawSeeds(s.offsets[ins-1] + 1)
+		for i := 0; i < ins; i++ {
+			s.carriers[i].Seed = seeds[s.offsets[i]]
+		}
+		eng.SpeculateInserts(s.carriers[:ins])
 	}
-	seeds := eng.PredrawSeeds(s.offsets[ins-1] + 1)
-	for i := 0; i < ins; i++ {
-		s.carriers[i].Seed = seeds[s.offsets[i]]
+	if dels > 0 {
+		eng.SpeculateDeletes(s.delCarriers[:dels])
 	}
-	eng.SpeculateInserts(s.carriers[:ins])
 }
 
 // window processes one admitted window under the façade lock.
@@ -275,8 +298,12 @@ func (s *pipeScheduler) window(batch []*pipeReq) {
 			if r.spec != nil {
 				eng.InjectFirstAttempt(r.spec)
 			}
+			if r.dspec != nil {
+				eng.InjectDeleteAttempts(r.dspec)
+			}
 			err = r.fn(c.nw)
 			eng.ClearInjectedAttempt() // not consumed if validation failed first
+			eng.ClearDeleteAttempts()  // shared by the op's orphans; never outlives it
 			if err == nil && r.rec != nil {
 				if deferAudit {
 					// Capture before the next commit's beginStep resets the

@@ -186,6 +186,62 @@ func TestPipelineOracleLockstep(t *testing.T) {
 	}
 }
 
+// TestPipelineDeleteSpeculation proves the delete-prediction path
+// engages: after a growth phase, a deletes-only phase is driven through
+// the pipelined façade — any speculation hits recorded during it can
+// only come from core.SpeculateDeletes (insert speculation needs
+// admitted inserts) — and the resulting state must stay byte-identical
+// to a plain serial Network on the same sequence.
+func TestPipelineDeleteSpeculation(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			plain, err := dex.New(dex.WithInitialSize(24), dex.WithSeed(99),
+				dex.WithWorkers(workers), dex.WithAuditMode(dex.AuditSampled))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plain.Close()
+			c, err := dex.NewConcurrent(dex.WithInitialSize(24), dex.WithSeed(99),
+				dex.WithWorkers(workers), dex.WithAuditMode(dex.AuditSampled),
+				dex.WithPipeline(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			const born = 60
+			for i := 0; i < born; i++ {
+				id, at := dex.NodeID(1000+i), dex.NodeID(i%24)
+				if err := plain.Insert(id, at); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Insert(id, at); err != nil {
+					t.Fatal(err)
+				}
+			}
+			growthHits, _, _ := c.PipelineStats()
+			for i := 0; i < born; i++ {
+				id := dex.NodeID(1000 + i)
+				if err := plain.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			hits, misses, _ := c.PipelineStats()
+			t.Logf("delete phase: %d speculation hits, %d serial drains", hits-growthHits, misses)
+			if hits == growthHits {
+				t.Fatal("no delete speculation hit across a deletes-only phase in the dense regime")
+			}
+			comparePipelinedToSerial(t, c, plain)
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestPipelineConflictDrain forces overlapping footprints: every
 // submitter attaches at node 0, so a window's commits disturb the
 // speculative walks behind them and those ops must drain through the

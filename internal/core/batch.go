@@ -64,18 +64,26 @@ func (nw *Network) InsertBatch(specs []InsertSpec) error {
 }
 
 // insertOneOfBatch bootstraps one batch member (node + temporary attach
-// edge) and runs its recovery ladder.
+// edge) and runs its recovery ladder. Both endpoint slots are resolved
+// once here — the newborn's straight off its bootstrap, the attach
+// point's for the whole ladder — so the temporary edge, the load entry,
+// and the steady-state fast-path commit all run slot-native. Slots are
+// stable across everything between the two temp-edge mutations: the
+// ladder moves vertices and may rebuild the virtual graph, but never
+// deletes a node.
 func (nw *Network) insertOneOfBatch(s InsertSpec) {
 	if s.ID >= nw.nextID {
 		nw.nextID = s.ID + 1
 	}
 	nw.addNodeEntry(s.ID)
-	nw.setLoad(s.ID, 0, true)
+	idSlot, _ := nw.real.SlotOf(s.ID)
+	attachSlot, _ := nw.real.SlotOf(s.Attach)
+	nw.setLoadAt(s.ID, idSlot, 0, true)
 	nw.rebuiltReal = false
-	nw.addRealEdge(s.ID, s.Attach)
-	nw.recoverInsert(s.ID, s.Attach)
+	nw.addRealEdgeAt(s.ID, idSlot, s.Attach)
+	nw.recoverInsert(s.ID, s.Attach, idSlot, attachSlot)
 	if !nw.rebuiltReal {
-		nw.removeRealEdge(s.ID, s.Attach)
+		nw.removeRealEdgeAt(s.ID, idSlot, s.Attach)
 	}
 }
 

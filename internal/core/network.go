@@ -224,6 +224,11 @@ type Network struct {
 	specHits    int
 	specMisses  int
 	tailWalks   int
+	// fastInserts counts steady-state inserts committed through
+	// recoverInsert's degree-capped short-circuit (diagnostics only —
+	// the fast path is byte-identical to the ladder, so this is never
+	// part of History or the checkpoint image).
+	fastInserts int
 
 	// Pipelined-façade state (see pipeline.go). pipeAttempt, when
 	// non-nil, is consumed by the next recoverInsert as its first-attempt
@@ -232,12 +237,18 @@ type Network struct {
 	// the remaining fields are the window's reused buffers.
 	pipeAttempt    *specAttempt
 	pipeAttemptBuf specAttempt
-	pipeExcl       []NodeID
-	pipeStops      []func(NodeID, int32) bool
-	pipeSeedBuf    []uint64
-	pipeSpecs      []congest.WalkSpec
-	pipeOuts       []congest.WalkOutcome
-	pipeIdx        []int
+	// pipeDel, when non-nil, is the staged prediction for the current
+	// delete's redistribution walks: one shared attempt every orphan's
+	// first walk consumes (see InjectDeleteAttempts — the dense-regime
+	// prediction is that all of them 0-step-hit the adopter).
+	pipeDel     *specAttempt
+	pipeDelBuf  specAttempt
+	pipeExcl    []NodeID
+	pipeStops   []func(NodeID, int32) bool
+	pipeSeedBuf []uint64
+	pipeSpecs   []congest.WalkSpec
+	pipeOuts    []congest.WalkOutcome
+	pipeIdx     []int
 
 	// rngDraws counts uint64 draws taken from rng since construction.
 	// Both draw sites (the walkSeed fallback and predrawSeedsInto) go
@@ -546,6 +557,43 @@ func (nw *Network) bumpLoad(u NodeID, delta int) {
 	nw.setLoad(u, nw.st.loadOf(u)+delta, false)
 }
 
+// setLoadAt / bumpLoadAt are the slot-native load setters: identical
+// counter bookkeeping to setLoad, with u's live slot already in hand so
+// neither the read nor the write pays an id→slot probe. moveVertexAt
+// runs both endpoints' load updates through these.
+//
+//dexvet:noalloc
+func (nw *Network) setLoadAt(u NodeID, s int32, l int, fresh bool) {
+	old := -1
+	if !fresh {
+		old = nw.st.loadAt(u, s)
+		if old == l {
+			return
+		}
+	}
+	lowT := 2 * nw.cfg.Zeta
+	if !fresh {
+		if old >= 2 {
+			nw.nSpare--
+		}
+		if old <= lowT {
+			nw.nLow--
+		}
+	}
+	if l >= 2 {
+		nw.nSpare++
+	}
+	if l <= lowT {
+		nw.nLow++
+	}
+	nw.st.putLoadDirtyAt(u, s, l)
+}
+
+//dexvet:noalloc
+func (nw *Network) bumpLoadAt(u NodeID, s int32, delta int) {
+	nw.setLoadAt(u, s, nw.st.loadAt(u, s)+delta, false)
+}
+
 // --- virtual-edge enumeration and vertex movement --------------------------
 
 // slotTargets returns the three virtual edge slots of x in the current
@@ -690,11 +738,25 @@ func (nw *Network) moveVertex(x Vertex, w NodeID) {
 	// every insertion to w, so the whole edge batch runs slot-native (one
 	// map probe per endpoint instead of one per edge; edges are
 	// undirected, so anchoring the stagger pending edges on u/w is the
-	// same mutation).
+	// same mutation). Both lookups are pure reads, so resolving w's slot
+	// up front (rather than mid-move) changes nothing observable.
 	su, ok := nw.real.SlotOf(u)
 	if !ok {
 		panic(fmt.Sprintf("core: moveVertex from absent node %d", u))
 	}
+	sw, ok := nw.real.SlotOf(w)
+	if !ok {
+		panic(fmt.Sprintf("core: moveVertex to absent node %d", w))
+	}
+	nw.moveVertexAt(x, u, w, su, sw)
+}
+
+// moveVertexAt is moveVertex with both endpoints' slots (and x's current
+// simulator u) already resolved: the steady-state insert fast path holds
+// all three and skips every map probe of the move — the graph edges, the
+// Sim sets, and the load counters all mutate slot-native. The mutation
+// sequence is exactly moveVertex's.
+func (nw *Network) moveVertexAt(x Vertex, u, w NodeID, su, sw int32) {
 	for _, t := range nw.slotTargets(x) {
 		if nw.stag != nil && nw.stag.phase == 2 && nw.stag.dropped(t) {
 			continue // edge already removed with the dropped endpoint
@@ -706,15 +768,11 @@ func (nw *Network) moveVertex(x Vertex, w NodeID) {
 			nw.removeRealEdgeAt(u, su, nw.stag.newSimOf[pe.src])
 		}
 	}
-	nw.st.simRemove(u, x)
-	nw.bumpLoad(u, -1)
+	nw.st.simRemoveAt(u, su, x)
+	nw.bumpLoadAt(u, su, -1)
 	nw.simOf[x] = w
-	nw.st.simAdd(w, x)
-	nw.bumpLoad(w, 1)
-	sw, ok := nw.real.SlotOf(w)
-	if !ok {
-		panic(fmt.Sprintf("core: moveVertex to absent node %d", w))
-	}
+	nw.st.simAddAt(w, sw, x)
+	nw.bumpLoadAt(w, sw, 1)
 	for _, t := range nw.slotTargets(x) {
 		if nw.stag != nil && nw.stag.phase == 2 && nw.stag.dropped(t) {
 			continue

@@ -89,6 +89,10 @@ func (nw *Network) Close() {
 // revalidation. Purely observational — used by tests to assert the
 // parallel path actually engaged, and by benchmarks to report
 // speculation quality.
+// FastInserts reports how many inserts committed through recoverInsert's
+// degree-capped steady-state short-circuit instead of the walk ladder.
+func (nw *Network) FastInserts() int { return nw.fastInserts }
+
 func (nw *Network) SpecStats() (hits, misses, tail int) {
 	return nw.specHits, nw.specMisses, nw.tailWalks
 }
@@ -267,14 +271,19 @@ func (nw *Network) walkRetryTail(start NodeID, startSlot int32, exclude, reporte
 	return last, false
 }
 
-// Deletion orphan batches deliberately have no first-attempt window:
-// every orphan's walk starts at the adopting neighbor v, and every
-// committed placement moves a vertex away from v — touching v's row
-// and load — so speculation j+1 is invalidated by commit j almost by
-// construction (measured hit rates ~30%, a net slowdown). The serial
+// Deletion orphan batches deliberately have no intra-op first-attempt
+// window: every orphan's walk starts at the adopting neighbor v, and
+// every committed placement moves a vertex away from v — touching v's
+// row and load — so speculation j+1 is invalidated by commit j almost
+// by construction (measured hit rates ~30%, a net slowdown). The serial
 // first attempt is one predicate call in the dense regime; the scarce
 // regime, where walks are long and retried, is covered exactly by
-// walkRetryTail.
+// walkRetryTail. Cross-op window speculation is different: the
+// pipelined façade predicts a delete's whole redistribution at Phase A
+// (core.SpeculateDeletes) precisely in the dense case where no orphan
+// ever leaves v, which sidesteps both the intra-op invalidation above
+// and the deeper problem that the op's own adoption rewrites v's row
+// and load before the walks run.
 
 // retryContendersParallel runs one non-forced contender round with
 // speculative parallel walks: every eligible contender's single walk

@@ -133,6 +133,84 @@ func (nw *Network) SpeculateInserts(ops []*PipelinedInsert) {
 	nw.pipeSpecs, nw.pipeIdx = specs, idx
 }
 
+// PipelinedDelete carries one delete through the scheduler's speculation
+// window. The caller fills the exported fields; SpeculateDeletes fills
+// the rest. A value is reusable across windows.
+//
+// Delete speculation is prediction, not execution. A delete's own
+// adoption phase moves every vertex the victim simulated onto the
+// adopting neighbor v — rewriting v's adjacency row and load — before
+// the first redistribution walk runs, so a walk taken against the
+// quiescent Phase A state is stale by construction the moment it leaves
+// v (this is the same force that makes intra-op orphan windows a net
+// loss; see the note in parallel.go). What Phase A can do soundly is
+// prove the walks never leave v at all: when the predicted post-adoption
+// load, load(v) + load(victim), is within the Low threshold 2*zeta,
+// every orphan's first attempt is a 0-step hit at v — an outcome that
+// consumes its serial walk seed but does not depend on it. The staged
+// prediction is therefore seed-free; the scheduler's seed-offset
+// accounting still counts one seed per redistributed vertex so that
+// later inserts in the window keep their predicted offsets.
+type PipelinedDelete struct {
+	ID NodeID
+	// SizeAtExec is the predicted network size at the moment the
+	// delete's redistribution walks run (the victim already removed).
+	SizeAtExec int
+
+	ok      bool
+	v       NodeID // predicted adopting neighbor (smallest distinct)
+	epoch   uint64
+	maxLen  int
+	visited [2]int32 // conflict footprint: adopter's slot, victim's slot
+}
+
+// SpeculateDeletes predicts each pending delete's redistribution outcome
+// against the quiescent overlay. A delete is speculated only when the
+// dense-regime proof holds — predicted adopter v exists and
+// load(v) + load(victim) <= 2*zeta — because then every orphan walk is a
+// 0-step hit at v regardless of its seed. The prediction's validity
+// footprint is exactly {v's slot, victim's slot}: those two loads (and
+// the victim's adjacency row, which picks v) are the only state it
+// reads. Windows taken mid-stagger are left unspeculated, as are victims
+// missing at Phase A (window-born nodes, bad ids) — their commits simply
+// run the serial walks.
+//
+//dexvet:mutator
+func (nw *Network) SpeculateDeletes(ops []*PipelinedDelete) {
+	for _, op := range ops {
+		op.ok = false
+	}
+	if nw.stag != nil {
+		return
+	}
+	epoch := nw.specEpoch
+	for _, op := range ops {
+		idSlot, ok := nw.real.SlotOf(op.ID)
+		if !ok {
+			continue
+		}
+		v, vSlot := NodeID(-1), int32(-1)
+		nw.real.ForEachNeighborAt(idSlot, func(w NodeID, ws int32, _ int) bool {
+			if w != op.ID {
+				v, vSlot = w, ws
+				return false
+			}
+			return true
+		})
+		if v < 0 {
+			continue
+		}
+		if nw.st.loadAt(v, vSlot)+nw.st.loadAt(op.ID, idSlot) > 2*nw.cfg.Zeta {
+			continue // real walks would run post-adoption state we cannot see
+		}
+		op.v = v
+		op.epoch = epoch
+		op.maxLen = walkLenFor(op.SizeAtExec, nw.cfg.WalkFactor)
+		op.visited[0], op.visited[1] = vSlot, idSlot
+		op.ok = true
+	}
+}
+
 // ArmPipeline resets and arms the pipeline-window write-set; every slot
 // a subsequent commit touches (including slots assigned or recycled by
 // inserts and deletes) is stamped until DisarmPipeline.
@@ -185,6 +263,36 @@ func (nw *Network) InjectFirstAttempt(op *PipelinedInsert) {
 //
 //dexvet:mutator
 func (nw *Network) ClearInjectedAttempt() { nw.pipeAttempt = nil }
+
+// InjectDeleteAttempts stages op's prediction for the next Delete: one
+// shared attempt that every orphan's first redistribution walk consumes
+// (redistributeOne). As with inserts, the disturbed flag is computed
+// here, immediately before the op runs: the delete's own adoption moves
+// stamp the adopter's slot during the op, and those self-touches are
+// exactly what the prediction already accounts for — only *earlier*
+// commits touching the footprint invalidate it. No-op for unspeculated
+// ops.
+//
+//dexvet:mutator
+func (nw *Network) InjectDeleteAttempts(op *PipelinedDelete) {
+	if !op.ok {
+		return
+	}
+	nw.pipeDelBuf = specAttempt{
+		epoch:     op.epoch,
+		maxLen:    op.maxLen,
+		res:       congest.WalkResult{End: op.v, Hit: true},
+		disturbed: nw.pipeDisturbed(op.visited[:]),
+	}
+	nw.pipeDel = &nw.pipeDelBuf
+}
+
+// ClearDeleteAttempts drops a staged delete prediction after its op
+// commits (or fails validation), so nothing leaks into the next op —
+// in particular not into batch deletes, which are never speculated.
+//
+//dexvet:mutator
+func (nw *Network) ClearDeleteAttempts() { nw.pipeDel = nil }
 
 // AuditPrelude is the window-level half of Audit(AuditSampled): store
 // coherence plus the n <= p bound. The scheduler runs it once per

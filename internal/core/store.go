@@ -600,6 +600,23 @@ func (st *state) putLoadDirty(u NodeID, l int) {
 	st.markDirtySlot(sh, i, u)
 }
 
+// putLoadDirtyAt is putLoadDirty with u's live slot already in hand (the
+// steady-state vertex-move path resolves each endpoint's slot once and
+// reuses it for the whole edge/load/set batch). The oracle branch keys
+// by id and ignores s.
+//
+//dexvet:noalloc
+func (st *state) putLoadDirtyAt(u NodeID, s int32, l int) {
+	if m := st.m; m != nil {
+		m.load[u] = l
+		st.markDirtyMap(u)
+		return
+	}
+	sh, i := st.shardOf(s)
+	sh.load[i] = int32(l)
+	st.markDirtySlot(sh, i, u)
+}
+
 // clearLoad drops u's load entry (node deletion; counters already
 // settled by the caller).
 func (st *state) clearLoad(u NodeID) {
@@ -885,6 +902,41 @@ func (st *state) setRemove(u NodeID, x Vertex, nxt bool) {
 	sh.setRemove(sh.col(nxt), i, x)
 }
 
+// setAddAt / setRemoveAt / setMaxAt: slot-native forms for callers that
+// already hold u's live slot (see loadAt). The oracle branch keys by id.
+//
+//dexvet:noalloc
+func (st *state) setAddAt(u NodeID, s int32, x Vertex, nxt bool) {
+	if m := st.m; m != nil {
+		st.setAdd(u, x, nxt)
+		return
+	}
+	sh, i := st.shardOf(s)
+	sh.setAdd(sh.col(nxt), i, x)
+}
+
+//dexvet:noalloc
+func (st *state) setRemoveAt(u NodeID, s int32, x Vertex, nxt bool) {
+	if m := st.m; m != nil {
+		delete(m.sets(nxt)[u], x)
+		return
+	}
+	sh, i := st.shardOf(s)
+	sh.setRemove(sh.col(nxt), i, x)
+}
+
+//dexvet:noalloc
+func (st *state) setMaxAt(u NodeID, s int32, nxt bool) Vertex {
+	if m := st.m; m != nil {
+		return st.setMax(u, nxt)
+	}
+	sh, i := st.shardOf(s)
+	if r := sh.run(sh.col(nxt), i); len(r) > 0 {
+		return r[len(r)-1]
+	}
+	return -1
+}
+
 func (st *state) setHas(u NodeID, x Vertex, nxt bool) bool {
 	if m := st.m; m != nil {
 		_, ok := m.sets(nxt)[u][x]
@@ -996,6 +1048,9 @@ func (st *state) simHas(u NodeID, x Vertex) bool           { return st.setHas(u,
 func (st *state) simMin(u NodeID) Vertex                   { return st.setMin(u, false) }
 func (st *state) simMax(u NodeID) Vertex                   { return st.setMax(u, false) }
 func (st *state) simForEach(u NodeID, f func(Vertex) bool) { st.setForEach(u, false, f) }
+func (st *state) simAddAt(u NodeID, s int32, x Vertex)     { st.setAddAt(u, s, x, false) }
+func (st *state) simRemoveAt(u NodeID, s int32, x Vertex)  { st.setRemoveAt(u, s, x, false) }
+func (st *state) simMaxAt(u NodeID, s int32) Vertex        { return st.setMaxAt(u, s, false) }
 func (st *state) simAppend(u NodeID, buf []Vertex) []Vertex {
 	return st.setAppend(u, false, buf)
 }

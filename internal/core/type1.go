@@ -35,11 +35,36 @@ func (nw *Network) Insert(id, attach NodeID) error {
 // The first attempt runs serially (the donor predicate load >= 2 is
 // dense in every phase, so it resolves in O(1) expected hops); once it
 // misses, the remaining retries fan out in parallel (walkRetryTail).
-func (nw *Network) recoverInsert(id, attach NodeID) {
+// Both endpoint slots arrive from insertOneOfBatch (id's from its own
+// bootstrap, attach's resolved once for the whole ladder — insertion
+// never deletes nodes, so both survive every retry and the tail).
+func (nw *Network) recoverInsert(id, attach NodeID, idSlot, attachSlot int32) {
+	// Degree-capped steady-state fast path. In the dense regime the first
+	// walk stops at its own start: steadyInsertStop(attach) reduces to
+	// load(attach) >= 2, tested before a single seed bit is consumed or a
+	// step is taken. When that outcome is already decided — no rebuild
+	// staggered, no speculated first attempt to honor, attach Spare, and
+	// its degree under the cap that keeps the commit O(zeta) — short-
+	// circuit: consume the serial walk seed (stream + WAL identity), then
+	// donate attach's largest vertex through the fully slot-native move,
+	// skipping predicate setup, walk-length computation, the walk call,
+	// and the exhaustion ladder. History and mapping are byte-identical
+	// to the generic path by construction; engine_equiv_test and
+	// FuzzChurnTrace enforce it.
+	if nw.stag == nil && nw.pipeAttempt == nil &&
+		nw.st.loadAt(attach, attachSlot) >= 2 &&
+		nw.real.DistinctDegreeAt(attachSlot) <= 8*nw.cfg.Zeta {
+		nw.stopExclude = id // keep the predicate state exactly as insertStop leaves it
+		_ = nw.walkSeed()   // 0-step walks draw nothing from the seed
+		best := nw.st.simMaxAt(attach, attachSlot)
+		if best < 0 {
+			panic("core: donor has no vertex")
+		}
+		nw.fastInserts++
+		nw.moveVertexAt(best, attach, id, attachSlot, idSlot)
+		return
+	}
 	stop := nw.insertStop(id)
-	// attach's slot survives the whole ladder (insertion never deletes
-	// nodes), so one resolution covers every retry and the parallel tail.
-	attachSlot, _ := nw.real.SlotOf(attach)
 	for attempt := 0; attempt < nw.cfg.WalkRetryLimit; attempt++ {
 		var res congest.WalkResult
 		if attempt == 0 && nw.pipeAttempt != nil {
@@ -254,7 +279,33 @@ func (nw *Network) redistributeOne(v NodeID, h holding) bool {
 	vSlot, _ := nw.real.SlotOf(v)
 	placed := false
 	for attempt := 0; attempt < nw.cfg.WalkRetryLimit; attempt++ {
-		res := nw.runWalkAt(v, vSlot, -1, stop)
+		var res congest.WalkResult
+		if attempt == 0 && nw.pipeDel != nil {
+			// The pipelined façade predicted this delete's redistribution:
+			// every orphan 0-step-hits the adopter (SpeculateDeletes proved
+			// load(v) + load(victim) <= 2*zeta at Phase A). The prediction
+			// is shared — each orphan consumes its serial seed and keeps
+			// the staged hit only while replaying it would provably be
+			// identical: no stagger transition (epoch), the predicted walk
+			// length, an undisturbed footprint, and the predicted adopter.
+			// A 0-step hit is seed-independent, so the drawn seed needs no
+			// comparison; on any mismatch the walk re-runs in place with
+			// that same seed — the serial path, drained.
+			sp := nw.pipeDel
+			seed := nw.walkSeed()
+			if sp.epoch == nw.specEpoch && !sp.disturbed &&
+				sp.maxLen == nw.walkLen() && sp.res.End == v {
+				res = sp.res
+				nw.specHits++
+			} else {
+				res = congest.RandomWalkDirectAt(nw.real, v, vSlot, -1, nw.walkLen(), seed, stop)
+				nw.specMisses++
+			}
+			nw.step.Rounds += res.Steps
+			nw.step.Messages += res.Steps
+		} else {
+			res = nw.runWalkAt(v, vSlot, -1, stop)
+		}
 		if res.Hit {
 			if res.End != v {
 				nw.moveHolding(h, res.End)

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -83,6 +84,31 @@ func BenchmarkGraphChurn(b *testing.B) {
 		u, v := NodeID(rng.Intn(4096)), NodeID(rng.Intn(4096))
 		g.AddEdge(u, v)
 		g.RemoveEdge(u, v)
+	}
+}
+
+// BenchmarkFindNbr measures one membership probe through findNbr at the
+// degrees that exercise each of its regimes: 4 (short-scan only), 32
+// (fence narrowing to one segment), 256 (fence prefix + binary-narrowed
+// tail). Probe targets cycle through every run position plus misses, so
+// the number reflects the average cell, not a lucky hot one.
+func BenchmarkFindNbr(b *testing.B) {
+	for _, deg := range []int{4, 32, 256} {
+		b.Run(fmt.Sprintf("deg=%d", deg), func(b *testing.B) {
+			g := New()
+			for i := 1; i <= deg; i++ {
+				g.AddEdge(0, NodeID(2*i))
+			}
+			s, _ := g.SlotOf(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Odd ids miss between cells, even ids hit: both paths stay hot.
+				if _, ok := g.findNbr(s, NodeID(i%(2*deg+2)+1)); ok == (i%2 == 0) {
+					_ = ok
+				}
+			}
+		})
 	}
 }
 

@@ -42,12 +42,12 @@ func (g *Graph) AppendBinary(enc *wire.Encoder) {
 		}
 		r := g.recs[s]
 		for i := r.off; i < r.off+r.n; i++ {
-			if g.poolV[i] < id {
+			if g.pool[i].v < id {
 				continue // emitted from the smaller endpoint's run
 			}
 			enc.Varint(int64(id))
-			enc.Varint(int64(g.poolV[i]))
-			enc.Uvarint(uint64(g.poolM[i]))
+			enc.Varint(int64(g.pool[i].v))
+			enc.Uvarint(uint64(g.pool[i].m))
 		}
 	}
 	enc.U64(g.epoch)
@@ -60,7 +60,7 @@ func (g *Graph) distinctEdges() int {
 		id := g.ids[s]
 		r := g.recs[s]
 		for i := r.off; i < r.off+r.n; i++ {
-			if g.poolV[i] >= id {
+			if g.pool[i].v >= id {
 				n++
 			}
 		}
@@ -101,6 +101,7 @@ func (g *Graph) DecodeBinary(dec *wire.Decoder) error {
 				return fmt.Errorf("graph: node %d live in two slots", id)
 			}
 			g.index[id] = int32(s)
+			g.denseSet(id, int32(s))
 		}
 	}
 	if g.onSlotAssign != nil {

@@ -30,15 +30,18 @@
 //
 // # Representation
 //
-// Graph stores adjacency in a flat arena: one shared []entry pool holds a
+// Graph stores adjacency in a flat arena: one shared []cell pool holds a
 // contiguous, NodeID-sorted neighbor run per node, and a dense slot table
 // (NodeID <-> int32 slot) carries each run's offset plus cached multigraph
-// and distinct degrees. Runs grow by power-of-two capacity doubling and
-// freed runs recycle through per-size free lists, so steady-state churn
-// (AddEdge/RemoveEdge at bounded degree) allocates nothing and a node's
-// whole neighborhood sits on one or two cache lines. Every run entry also
-// carries the neighbor's own slot (poolS, parallel to the id column), so
-// walk hops and neighbor iteration can hand the caller (id, slot) pairs
+// and distinct degrees. A cell interleaves the neighbor's id, the edge
+// multiplicity, and the neighbor's own slot in 16 bytes, so a probe or a
+// walk hop that reads all three touches the lines of one contiguous run —
+// not three parallel columns resident on three different lines. Runs grow
+// through multiple-of-4 size classes and freed runs recycle through
+// per-size free lists, so steady-state churn (AddEdge/RemoveEdge at
+// bounded degree) allocates nothing and a node's whole neighborhood sits
+// on one or two cache lines. Because every cell carries the neighbor's
+// slot, walk hops and neighbor iteration hand the caller (id, slot) pairs
 // and slot-indexed side tables are reachable without an id->slot map
 // probe. Walk stepping uses RandomNeighborStepAt / ForEachNeighborAt (or
 // their id-keyed wrappers), which read the run in place and never
@@ -55,39 +58,104 @@ import (
 // NodeID identifies a node. The zero value is a valid ID.
 type NodeID int64
 
-// nodeRec is the per-node slot record: the node's neighbor run in the pool
-// and its cached degrees.
+// fenceStride and numFences shape the per-record fence: fence[k] caches
+// the run key at index fenceStride*(k+1), so a membership probe narrows
+// to a fenceStride-cell segment by comparing keys that sit inline in the
+// record — one cache line — instead of striding the pool. Three fences
+// cover runs up to (numFences+1)*fenceStride cells (64, the engine's
+// 8ζ distinct-degree cap at the default ζ); longer runs binary-narrow
+// the tail.
+const (
+	fenceStride = 16
+	numFences   = 3
+
+	// Fence cells are int32: with three of them the record is exactly 32
+	// padding-free bytes, so a []nodeRec never straddles more than one
+	// 64-byte line per record and two records share each line. Keys
+	// outside the int32 domain saturate to these bounds, which double
+	// as sentinels: a saturated cell no longer orders exactly, so findNbr
+	// falls back to reading the underlying run cell when it meets one.
+	fenceMax = 1<<31 - 1
+	fenceMin = -1 << 31
+)
+
+// fenceKeyFor compresses a run key into a fence cell (see fenceMax).
+func fenceKeyFor(v NodeID) int32 {
+	if v >= fenceMax {
+		return fenceMax
+	}
+	if v <= fenceMin {
+		return fenceMin
+	}
+	return int32(v)
+}
+
+// nodeRec is the per-node slot record: the node's neighbor run in the pool,
+// its cached degrees, and the run's fence keys.
 type nodeRec struct {
 	off  int32 // run start in the pool
 	n    int32 // entries in use
 	cap  int32 // run capacity (multiple of 4; 0 = no run allocated)
 	deg  int32 // multigraph degree: sum of mult (a self-loop counts once)
 	dist int32 // distinct neighbors excluding the node itself
+
+	// fence[k] mirrors fenceKeyFor(pool[off+fenceStride*(k+1)].v) whenever
+	// that index is < n; entries at or beyond n are stale and must never
+	// be read. The mirror depends only on run *content*, not placement, so
+	// shrinkRun, compaction, Clone, and the codec need no refresh — only
+	// insertEntry and removeEntry (the two content mutators) maintain it,
+	// and only once n exceeds fenceStride. Validate asserts the live
+	// prefix cell-by-cell.
+	fence [numFences]int32
+}
+
+// cell is one adjacency-run entry: the neighbor's id, the multiplicity of
+// the connecting edge, and the neighbor's own slot, interleaved in 16
+// padding-free bytes. Interleaving is the cache contract of the arena: a
+// membership probe, a walk hop, or a run shift reads and moves whole
+// cells, so a degree-d neighborhood costs ceil(d/4) line touches — the
+// historical parallel-column layout (poolV/poolM/poolS) spread the same
+// 16 bytes per neighbor across three lines, and steady-state churn paid
+// all three per half-edge.
+type cell struct {
+	v NodeID // neighbor id; runs sort strictly ascending on this
+	m int32  // edge multiplicity (> 0 for live cells)
+	s int32  // neighbor's slot: pool[i].s == index[pool[i].v]
 }
 
 // Graph is a mutable undirected multigraph backed by a flat adjacency
-// arena. Neighbor ids, multiplicities, and neighbor slots live in
-// parallel slices (16 bytes per distinct neighbor, no struct padding);
+// arena. Neighbor ids, multiplicities, and neighbor slots interleave in
+// one []cell pool (16 bytes per distinct neighbor, no struct padding);
 // capacities are multiples of 4 so run rounding wastes at most 3 cells
 // per node.
 //
-// The slot column is coherent by construction: poolS[i] == index[poolV[i]]
+// The slot field is coherent by construction: pool[i].s == index[pool[i].v]
 // for every live run cell. A node's edges are all removed before its slot
 // is recycled (RemoveNode strips incident edges first), so no run entry
 // can ever reference a freed slot and recycling needs no rewrite pass —
 // Validate asserts the identity and FuzzGraphOps checks it after every op.
 type Graph struct {
-	index     map[NodeID]int32 // sparse NodeID -> dense slot
-	ids       []NodeID         // slot -> NodeID (stale for free slots)
-	recs      []nodeRec        // slot -> record
-	freeSlots []int32          // recycled slots
-	poolV     []NodeID         // neighbor ids, all runs concatenated
-	poolM     []int32          // multiplicities, parallel to poolV
-	poolS     []int32          // neighbor slots, parallel to poolV
-	freeRuns  [][]int32        // freed run offsets, indexed by capacity/4
-	freeCells int              // total cells parked on the free lists
-	edges     int              // number of edges (loops count once)
-	epoch     uint64           // logical version: bumped by every effective mutation
+	index map[NodeID]int32 // sparse NodeID -> dense slot (authoritative)
+
+	// dense is the id->slot fast path: for every live node u with
+	// 0 <= u < len(dense), dense[u] holds u's slot; every other cell in
+	// range holds -1. Lookups for in-range ids skip the map entirely —
+	// the ids this engine mints are small and contiguous, so steady-state
+	// churn resolves both endpoints with two array reads instead of two
+	// map probes. Growth is geometric and budgeted at 4*slots+256 cells,
+	// so adversarially sparse ids (fuzzed or decoded) simply stay on the
+	// map path and can never balloon memory. Validate asserts coherence
+	// cell-by-cell.
+	dense []int32
+
+	ids       []NodeID  // slot -> NodeID (stale for free slots)
+	recs      []nodeRec // slot -> record
+	freeSlots []int32   // recycled slots
+	pool      []cell    // neighbor cells, all runs concatenated
+	freeRuns  [][]int32 // freed run offsets, indexed by capacity/4
+	freeCells int       // total cells parked on the free lists
+	edges     int       // number of edges (loops count once)
+	epoch     uint64    // logical version: bumped by every effective mutation
 
 	// Slot lifecycle hooks (SetSlotHooks): onSlotAssign fires right after
 	// a slot is bound to a node, onSlotRelease right after a node's slot
@@ -107,12 +175,11 @@ func New() *Graph {
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		index:     make(map[NodeID]int32, len(g.index)),
+		dense:     append([]int32(nil), g.dense...),
 		ids:       append([]NodeID(nil), g.ids...),
 		recs:      append([]nodeRec(nil), g.recs...),
 		freeSlots: append([]int32(nil), g.freeSlots...),
-		poolV:     append([]NodeID(nil), g.poolV...),
-		poolM:     append([]int32(nil), g.poolM...),
-		poolS:     append([]int32(nil), g.poolS...),
+		pool:      append([]cell(nil), g.pool...),
 		freeCells: g.freeCells,
 		edges:     g.edges,
 		epoch:     g.epoch,
@@ -136,13 +203,13 @@ func (g *Graph) NumEdges() int { return g.edges }
 
 // HasNode reports whether u exists.
 func (g *Graph) HasNode(u NodeID) bool {
-	_, ok := g.index[u]
+	_, ok := g.lookup(u)
 	return ok
 }
 
 // AddNode inserts u as an isolated node if not present.
 func (g *Graph) AddNode(u NodeID) {
-	if _, ok := g.index[u]; ok {
+	if _, ok := g.lookup(u); ok {
 		return
 	}
 	g.epoch++
@@ -172,8 +239,7 @@ func (g *Graph) Snapshot() (*Graph, uint64) { return g.Clone(), g.epoch }
 // is recycled and may be handed to a different node later, so callers
 // holding slots across deletions must revalidate with NodeAt.
 func (g *Graph) SlotOf(u NodeID) (int32, bool) {
-	s, ok := g.index[u]
-	return s, ok
+	return g.lookup(u)
 }
 
 // NodeAt returns the node currently occupying slot s, if any. Freed
@@ -183,7 +249,7 @@ func (g *Graph) NodeAt(s int32) (NodeID, bool) {
 		return 0, false
 	}
 	u := g.ids[s]
-	if live, ok := g.index[u]; ok && live == s {
+	if live, ok := g.lookup(u); ok && live == s {
 		return u, true
 	}
 	return 0, false
@@ -207,9 +273,61 @@ func (g *Graph) SetSlotHooks(assign, release func(u NodeID, slot int32)) {
 	g.onSlotRelease = release
 }
 
+// lookup resolves u's live slot through the dense fast path when u is in
+// range (one array read; the unsigned compare folds the negative-id check
+// into the bounds check) and through the map otherwise. The in-range
+// verdict is exact either way: coherence guarantees every live id below
+// len(dense) has its slot there, so a -1 cell means u is absent.
+//
+//dexvet:noalloc
+func (g *Graph) lookup(u NodeID) (int32, bool) {
+	if uint64(u) < uint64(len(g.dense)) {
+		s := g.dense[u]
+		return s, s >= 0
+	}
+	s, ok := g.index[u]
+	return s, ok
+}
+
+// denseSet records a fresh id->slot binding in the dense fast path,
+// growing it when u is within the memory budget (4*slots+256 cells keeps
+// the array proportional to the slot table no matter how adversarial the
+// id distribution is). Out-of-budget ids stay map-only, which lookup
+// handles by construction.
+func (g *Graph) denseSet(u NodeID, s int32) {
+	if uint64(u) >= uint64(len(g.dense)) {
+		if u < 0 || int64(u) >= int64(4*len(g.ids)+256) {
+			return
+		}
+		g.growDense(int(u) + 1)
+	}
+	g.dense[u] = s
+}
+
+// growDense extends the dense fast path to at least need cells (doubling
+// so growth amortizes), backfilling every live binding the new region
+// covers — ids that were over budget when first bound become fast-path
+// once the graph has grown enough to afford them.
+func (g *Graph) growDense(need int) {
+	newLen := 2 * len(g.dense)
+	if newLen < need {
+		newLen = need
+	}
+	old := len(g.dense)
+	g.dense = append(g.dense, make([]int32, newLen-old)...)
+	for i := old; i < newLen; i++ {
+		g.dense[i] = -1
+	}
+	for u, s := range g.index {
+		if int64(u) >= int64(old) && int64(u) < int64(newLen) {
+			g.dense[u] = s
+		}
+	}
+}
+
 // slotOf returns u's dense slot, creating it if needed.
 func (g *Graph) slotOf(u NodeID) int32 {
-	if s, ok := g.index[u]; ok {
+	if s, ok := g.lookup(u); ok {
 		return s
 	}
 	var s int32
@@ -224,6 +342,7 @@ func (g *Graph) slotOf(u NodeID) int32 {
 		g.recs = append(g.recs, nodeRec{})
 	}
 	g.index[u] = s
+	g.denseSet(u, s)
 	if g.onSlotAssign != nil {
 		g.onSlotAssign(u, s)
 	}
@@ -235,30 +354,85 @@ func (g *Graph) slotOf(u NodeID) int32 {
 // otherwise). Runs are tiny in the regimes this graph serves (a
 // contraction's distinct degree is O(zeta)), where a branch-predictable
 // linear scan over the sorted cells beats binary search's mispredicted
-// halving; larger runs narrow by binary search first so the scan stays
-// bounded.
+// halving. Longer runs narrow first against the record's inline fence —
+// the every-fenceStride-th key cached next to off/n, so the narrowing
+// compares keys already on the record's cache line instead of striding
+// the pool — and runs past the fenced prefix binary-narrow the tail.
+// The drain then skips 4 cells at a time off the segment's sorted tail
+// before the final short scan.
+//
+// Narrowing invariant (PR 7's boundary-cell bug class): every narrowing
+// step — fence, binary, and 4-wide skip — keeps run[hi] >= v whenever
+// hi < len(run), so the drained scan's fallthrough must still examine
+// the boundary cell run[lo].
 //
 //dexvet:noalloc
 func (g *Graph) findNbr(s int32, v NodeID) (int32, bool) {
 	r := &g.recs[s]
-	run := g.poolV[r.off : r.off+r.n]
+	run := g.pool[r.off : r.off+r.n]
 	lo, hi := 0, len(run)
-	for hi-lo > 16 {
+	if hi > fenceStride {
+		// Fence narrowing: skip whole segments while the fence key — the
+		// first cell of the next segment — is still below v. No pool cells
+		// are touched until the segment is chosen (the sentinel fallback
+		// reads one, and only for keys outside the int32 domain).
+		k := 0
+		for k < numFences && (k+1)*fenceStride < hi {
+			fk := NodeID(r.fence[k])
+			if fk >= fenceMax || fk <= fenceMin {
+				fk = run[(k+1)*fenceStride].v // saturated cell: order on the run itself
+			}
+			if fk >= v {
+				// run[(k+1)*fenceStride] >= v bounds the segment: the
+				// insertion point is at most (k+1)*fenceStride, which the
+				// drained scan's boundary probe covers.
+				hi = (k + 1) * fenceStride
+				break
+			}
+			k++
+		}
+		lo = k * fenceStride
+	}
+	// Tail beyond the fenced prefix (runs > (numFences+1)*fenceStride
+	// cells): classic binary narrowing down to one segment.
+	for hi-lo > fenceStride {
 		mid := (lo + hi) / 2
-		if run[mid] < v {
+		if run[mid].v < v {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
+	// 4-wide drain: the segment is sorted, so if its 4th cell is still
+	// below v the first 4 all are — one comparison retires 4 cells.
+	for hi-lo >= 4 && run[lo+3].v < v {
+		lo += 4
+	}
 	for ; lo < hi; lo++ {
-		if w := run[lo]; w >= v {
+		if w := run[lo].v; w >= v {
 			return int32(lo), w == v
 		}
 	}
-	// The narrowing loop keeps run[hi] >= v whenever hi < len(run), so a
-	// scan that drains [lo, hi) must still examine the boundary cell.
-	return int32(lo), lo < len(run) && run[lo] == v
+	// Narrowing keeps run[hi] >= v whenever hi < len(run), so a scan that
+	// drains [lo, hi) must still examine the boundary cell.
+	return int32(lo), lo < len(run) && run[lo].v == v
+}
+
+// refreshFence recomputes the live prefix of r's fence from its run
+// content. Called by the two content mutators after the run changes;
+// callers skip it while n <= fenceStride (no fence entry is live, and
+// findNbr never reads one).
+//
+//dexvet:noalloc
+func (g *Graph) refreshFence(r *nodeRec) {
+	run := g.pool[r.off : r.off+r.n]
+	for k := 0; k < numFences; k++ {
+		i := (k + 1) * fenceStride
+		if i >= len(run) {
+			break
+		}
+		r.fence[k] = fenceKeyFor(run[i].v)
+	}
 }
 
 // growCap returns the next run capacity after capn: multiples of 4, ~1.5x
@@ -284,29 +458,17 @@ func (g *Graph) allocRun(capn int32) int32 {
 			return off
 		}
 	}
-	off := len(g.poolV)
+	off := len(g.pool)
 	want := off + int(capn)
 	if want > 1<<31-1 {
-		// int32 offsets address 2^31 cells (~24GB of adjacency); failing
+		// int32 offsets address 2^31 cells (~32GB of adjacency); failing
 		// loudly beats two runs silently aliasing after a wrap.
 		panic("graph: adjacency pool exceeds the int32 offset domain")
 	}
-	// The pool slices grow independently (different element sizes mean
-	// different append capacities), so each is extended on its own.
-	if cap(g.poolV) >= want {
-		g.poolV = g.poolV[:want]
+	if cap(g.pool) >= want {
+		g.pool = g.pool[:want]
 	} else {
-		g.poolV = append(g.poolV, make([]NodeID, capn)...)
-	}
-	if cap(g.poolM) >= want {
-		g.poolM = g.poolM[:want]
-	} else {
-		g.poolM = append(g.poolM, make([]int32, capn)...)
-	}
-	if cap(g.poolS) >= want {
-		g.poolS = g.poolS[:want]
-	} else {
-		g.poolS = append(g.poolS, make([]int32, capn)...)
+		g.pool = append(g.pool, make([]cell, capn)...)
 	}
 	return int32(off)
 }
@@ -329,10 +491,18 @@ func (g *Graph) freeRun(off, capn int32) {
 // asks for anymore; without compaction the pool's high-water mark — not
 // the live degree sum — would set the memory footprint. Called only from
 // the top of the public mutators, where no run offset is held across it.
+// The guard lives here and the repack in compact so the almost-always-
+// false check inlines into every mutator instead of costing a call.
 func (g *Graph) maybeCompact() {
-	if len(g.poolV) <= 4096 || 2*g.freeCells <= len(g.poolV) {
+	if len(g.pool) <= 4096 || 2*g.freeCells <= len(g.pool) {
 		return
 	}
+	g.compact()
+}
+
+// compact is maybeCompact's repack body: runs are rewritten dense, in slot
+// order, at snug capacities, and the free lists reset.
+func (g *Graph) compact() {
 	total := int32(0)
 	for s := range g.recs {
 		if n := g.recs[s].n; n > 0 {
@@ -340,11 +510,9 @@ func (g *Graph) maybeCompact() {
 		}
 	}
 	// An eighth of slack keeps the first few post-compact growths carving
-	// from spare capacity instead of reallocating the arrays.
+	// from spare capacity instead of reallocating the array.
 	spare := int(total)/8 + 64
-	newV := make([]NodeID, total, int(total)+spare)
-	newM := make([]int32, total, int(total)+spare)
-	newS := make([]int32, total, int(total)+spare)
+	newPool := make([]cell, total, int(total)+spare)
 	off := int32(0)
 	for s := range g.recs {
 		r := &g.recs[s]
@@ -354,13 +522,11 @@ func (g *Graph) maybeCompact() {
 			continue
 		}
 		newCap := (r.n + 3) &^ 3
-		copy(newV[off:off+r.n], g.poolV[r.off:r.off+r.n])
-		copy(newM[off:off+r.n], g.poolM[r.off:r.off+r.n])
-		copy(newS[off:off+r.n], g.poolS[r.off:r.off+r.n])
+		copy(newPool[off:off+r.n], g.pool[r.off:r.off+r.n])
 		r.off, r.cap = off, newCap
 		off += newCap
 	}
-	g.poolV, g.poolM, g.poolS = newV, newM, newS
+	g.pool = newPool
 	for i := range g.freeRuns {
 		g.freeRuns[i] = g.freeRuns[i][:0]
 	}
@@ -377,33 +543,30 @@ func (g *Graph) insertEntry(s int32, pos int32, v NodeID, vs int32, k int32) {
 			newCap = growCap(r.cap)
 		}
 		newOff := g.allocRun(newCap)
-		copy(g.poolV[newOff:newOff+r.n], g.poolV[r.off:r.off+r.n])
-		copy(g.poolM[newOff:newOff+r.n], g.poolM[r.off:r.off+r.n])
-		copy(g.poolS[newOff:newOff+r.n], g.poolS[r.off:r.off+r.n])
+		copy(g.pool[newOff:newOff+r.n], g.pool[r.off:r.off+r.n])
 		g.freeRun(r.off, r.cap)
 		r.off, r.cap = newOff, newCap
 	}
 	lo, hi := r.off, r.off+r.n
 	if hi-(lo+pos) <= 16 {
-		// Short tails dominate (runs are degree-sized); hand-rolled shifts
-		// beat three memmove calls here.
-		for i := hi; i > lo+pos; i-- {
-			g.poolV[i] = g.poolV[i-1]
-			g.poolM[i] = g.poolM[i-1]
-			g.poolS[i] = g.poolS[i-1]
+		// Short tails dominate (runs are degree-sized); a hand-rolled
+		// shift over the resliced tail beats the memmove call here, and
+		// the reslice hoists the pool bounds checks out of the loop.
+		pc := g.pool[lo+pos : hi+1]
+		for i := len(pc) - 1; i > 0; i-- {
+			pc[i] = pc[i-1]
 		}
 	} else {
-		copy(g.poolV[lo+pos+1:hi+1], g.poolV[lo+pos:hi])
-		copy(g.poolM[lo+pos+1:hi+1], g.poolM[lo+pos:hi])
-		copy(g.poolS[lo+pos+1:hi+1], g.poolS[lo+pos:hi])
+		copy(g.pool[lo+pos+1:hi+1], g.pool[lo+pos:hi])
 	}
-	g.poolV[lo+pos] = v
-	g.poolM[lo+pos] = k
-	g.poolS[lo+pos] = vs
+	g.pool[lo+pos] = cell{v: v, m: k, s: vs}
 	r.n++
 	r.deg += k
 	if v != g.ids[s] {
 		r.dist++
+	}
+	if r.n > fenceStride {
+		g.refreshFence(r)
 	}
 }
 
@@ -412,21 +575,21 @@ func (g *Graph) insertEntry(s int32, pos int32, v NodeID, vs int32, k int32) {
 func (g *Graph) removeEntry(s int32, pos int32) {
 	r := &g.recs[s]
 	lo, hi := r.off, r.off+r.n
-	if g.poolV[lo+pos] != g.ids[s] {
+	if g.pool[lo+pos].v != g.ids[s] {
 		r.dist--
 	}
 	if hi-(lo+pos) <= 16 {
-		for i := lo + pos; i < hi-1; i++ {
-			g.poolV[i] = g.poolV[i+1]
-			g.poolM[i] = g.poolM[i+1]
-			g.poolS[i] = g.poolS[i+1]
+		pc := g.pool[lo+pos : hi]
+		for i := 0; i < len(pc)-1; i++ {
+			pc[i] = pc[i+1]
 		}
 	} else {
-		copy(g.poolV[lo+pos:hi-1], g.poolV[lo+pos+1:hi])
-		copy(g.poolM[lo+pos:hi-1], g.poolM[lo+pos+1:hi])
-		copy(g.poolS[lo+pos:hi-1], g.poolS[lo+pos+1:hi])
+		copy(g.pool[lo+pos:hi-1], g.pool[lo+pos+1:hi])
 	}
 	r.n--
+	if r.n > fenceStride {
+		g.refreshFence(r)
+	}
 	if r.cap > 4 && r.n*2 <= r.cap {
 		g.shrinkRun(s)
 	}
@@ -451,9 +614,7 @@ func (g *Graph) shrinkRun(s int32) {
 		return
 	}
 	newOff := g.allocRun(newCap)
-	copy(g.poolV[newOff:newOff+r.n], g.poolV[r.off:r.off+r.n])
-	copy(g.poolM[newOff:newOff+r.n], g.poolM[r.off:r.off+r.n])
-	copy(g.poolS[newOff:newOff+r.n], g.poolS[r.off:r.off+r.n])
+	copy(g.pool[newOff:newOff+r.n], g.pool[r.off:r.off+r.n])
 	g.freeRun(r.off, r.cap)
 	r.off, r.cap = newOff, newCap
 }
@@ -466,9 +627,9 @@ func (g *Graph) removeHalf(s int32, v NodeID, k int32) {
 		panic(fmt.Sprintf("graph: removeHalf of absent neighbor %d", v))
 	}
 	r := &g.recs[s]
-	g.poolM[r.off+pos] -= k
+	g.pool[r.off+pos].m -= k
 	r.deg -= k
-	if g.poolM[r.off+pos] == 0 {
+	if g.pool[r.off+pos].m == 0 {
 		g.removeEntry(s, pos)
 	}
 }
@@ -517,19 +678,19 @@ func (g *Graph) AddEdgeMultAt(su int32, u, v NodeID, k int) {
 		// Existing pair: the run cell already stores v's slot, so both
 		// halves bump in place with no second map probe (churn hot path).
 		r := &g.recs[su]
-		if g.poolM[r.off+pos] > 1<<30-k32 {
+		if g.pool[r.off+pos].m > 1<<30-k32 {
 			panic(fmt.Sprintf("graph: multiplicity of {%d,%d} exceeds the int32 arena domain", u, v))
 		}
-		g.poolM[r.off+pos] += k32
+		g.pool[r.off+pos].m += k32
 		r.deg += k32
 		if u != v {
-			sv := g.poolS[r.off+pos]
+			sv := g.pool[r.off+pos].s
 			back, ok := g.findNbr(sv, u)
 			if !ok {
 				panic(fmt.Sprintf("graph: asymmetric edge {%d,%d}", u, v))
 			}
 			rv := &g.recs[sv]
-			g.poolM[rv.off+back] += k32
+			g.pool[rv.off+back].m += k32
 			rv.deg += k32
 		}
 		g.edges += k
@@ -554,7 +715,7 @@ func (g *Graph) RemoveEdge(u, v NodeID) bool { return g.RemoveEdgeMult(u, v, 1) 
 // the number actually removed (0 when the edge or either endpoint is
 // absent).
 func (g *Graph) RemoveEdgeMult(u, v NodeID, k int) int {
-	su, ok := g.index[u]
+	su, ok := g.lookup(u)
 	if !ok {
 		return 0
 	}
@@ -579,17 +740,17 @@ func (g *Graph) RemoveEdgeMultAt(su int32, u, v NodeID, k int) int {
 		return 0
 	}
 	r := &g.recs[su]
-	if have := int(g.poolM[r.off+pos]); have < k {
+	if have := int(g.pool[r.off+pos].m); have < k {
 		k = have
 	}
 	g.epoch++
 	// u's entry position is already known, and its cell carries v's slot:
 	// decrement in place and resolve the back half without touching the
 	// id->slot map again (this is the churn hot path).
-	sv := g.poolS[r.off+pos]
-	g.poolM[r.off+pos] -= int32(k)
+	sv := g.pool[r.off+pos].s
+	g.pool[r.off+pos].m -= int32(k)
 	r.deg -= int32(k)
-	if g.poolM[r.off+pos] == 0 {
+	if g.pool[r.off+pos].m == 0 {
 		g.removeEntry(su, pos)
 	}
 	if u != v {
@@ -602,17 +763,17 @@ func (g *Graph) RemoveEdgeMultAt(su int32, u, v NodeID, k int) int {
 // RemoveNode deletes u and all incident edges. It is a no-op if u is absent.
 func (g *Graph) RemoveNode(u NodeID) {
 	g.maybeCompact()
-	su, ok := g.index[u]
+	su, ok := g.lookup(u)
 	if !ok {
 		return
 	}
 	g.epoch++
 	rr := g.recs[su]
 	for i := rr.off; i < rr.off+rr.n; i++ {
-		v, m := g.poolV[i], g.poolM[i]
-		g.edges -= int(m)
-		if v != u {
-			g.removeHalf(g.poolS[i], u, m)
+		c := g.pool[i]
+		g.edges -= int(c.m)
+		if c.v != u {
+			g.removeHalf(c.s, u, c.m)
 		}
 	}
 	r := &g.recs[su]
@@ -620,6 +781,9 @@ func (g *Graph) RemoveNode(u NodeID) {
 	*r = nodeRec{}
 	g.freeSlots = append(g.freeSlots, su)
 	delete(g.index, u)
+	if uint64(u) < uint64(len(g.dense)) {
+		g.dense[u] = -1
+	}
 	if g.onSlotRelease != nil {
 		g.onSlotRelease(u, su)
 	}
@@ -627,7 +791,7 @@ func (g *Graph) RemoveNode(u NodeID) {
 
 // Multiplicity returns the number of parallel {u,v} edges.
 func (g *Graph) Multiplicity(u, v NodeID) int {
-	s, ok := g.index[u]
+	s, ok := g.lookup(u)
 	if !ok {
 		return 0
 	}
@@ -635,7 +799,7 @@ func (g *Graph) Multiplicity(u, v NodeID) int {
 	if !ok {
 		return 0
 	}
-	return int(g.poolM[g.recs[s].off+pos])
+	return int(g.pool[g.recs[s].off+pos].m)
 }
 
 // HasEdge reports whether at least one {u,v} edge exists.
@@ -645,7 +809,7 @@ func (g *Graph) HasEdge(u, v NodeID) bool { return g.Multiplicity(u, v) > 0 }
 // multiplicities, a self-loop counting 1. Returns 0 for absent nodes.
 // The arena caches it, so this is O(1).
 func (g *Graph) Degree(u NodeID) int {
-	if s, ok := g.index[u]; ok {
+	if s, ok := g.lookup(u); ok {
 		return int(g.recs[s].deg)
 	}
 	return 0
@@ -655,11 +819,17 @@ func (g *Graph) Degree(u NodeID) int {
 // u itself). This is the number of actual network connections a node
 // maintains, the quantity bounded by Theorem 1. O(1) via the slot cache.
 func (g *Graph) DistinctDegree(u NodeID) int {
-	if s, ok := g.index[u]; ok {
+	if s, ok := g.lookup(u); ok {
 		return int(g.recs[s].dist)
 	}
 	return 0
 }
+
+// DistinctDegreeAt is DistinctDegree for the node occupying slot s (which
+// must be live): the cached count with no id→slot probe.
+//
+//dexvet:noalloc
+func (g *Graph) DistinctDegreeAt(s int32) int { return int(g.recs[s].dist) }
 
 // ForEachNeighbor calls fn for each distinct neighbor of u in ascending
 // NodeID order (including u itself when u has a self-loop) with the
@@ -668,13 +838,13 @@ func (g *Graph) DistinctDegree(u NodeID) int {
 //
 //dexvet:noalloc
 func (g *Graph) ForEachNeighbor(u NodeID, fn func(v NodeID, mult int) bool) {
-	s, ok := g.index[u]
+	s, ok := g.lookup(u)
 	if !ok {
 		return
 	}
 	r := g.recs[s]
 	for i := r.off; i < r.off+r.n; i++ {
-		if !fn(g.poolV[i], int(g.poolM[i])) {
+		if !fn(g.pool[i].v, int(g.pool[i].m)) {
 			return
 		}
 	}
@@ -690,7 +860,7 @@ func (g *Graph) ForEachNeighbor(u NodeID, fn func(v NodeID, mult int) bool) {
 func (g *Graph) ForEachNeighborAt(s int32, fn func(v NodeID, vs int32, mult int) bool) {
 	r := g.recs[s]
 	for i := r.off; i < r.off+r.n; i++ {
-		if !fn(g.poolV[i], g.poolS[i], int(g.poolM[i])) {
+		if !fn(g.pool[i].v, g.pool[i].s, int(g.pool[i].m)) {
 			return
 		}
 	}
@@ -708,7 +878,7 @@ func (g *Graph) ForEachNeighborAt(s int32, fn func(v NodeID, vs int32, mult int)
 //
 //dexvet:noalloc
 func (g *Graph) RandomNeighborStep(u, exclude NodeID, r uint64) (NodeID, bool) {
-	s, ok := g.index[u]
+	s, ok := g.lookup(u)
 	if !ok {
 		return 0, false
 	}
@@ -725,25 +895,25 @@ func (g *Graph) RandomNeighborStep(u, exclude NodeID, r uint64) (NodeID, bool) {
 //dexvet:noalloc
 func (g *Graph) RandomNeighborStepAt(s int32, exclude NodeID, r uint64) (NodeID, int32, bool) {
 	rec := g.recs[s]
-	lo, hi := rec.off, rec.off+rec.n
+	run := g.pool[rec.off : rec.off+rec.n]
 	total := int32(0)
-	for i := lo; i < hi; i++ {
-		if g.poolV[i] == exclude {
+	for i := range run {
+		if run[i].v == exclude {
 			continue
 		}
-		total += g.poolM[i]
+		total += run[i].m
 	}
 	if total == 0 {
 		return 0, -1, false
 	}
 	pick := int32(r % uint64(total))
-	for i := lo; i < hi; i++ {
-		if g.poolV[i] == exclude {
+	for i := range run {
+		if run[i].v == exclude {
 			continue
 		}
-		pick -= g.poolM[i]
+		pick -= run[i].m
 		if pick < 0 {
-			return g.poolV[i], g.poolS[i], true
+			return run[i].v, run[i].s, true
 		}
 	}
 	return 0, -1, false
@@ -763,12 +933,16 @@ func (g *Graph) Nodes() []NodeID {
 // including u itself when u has a self-loop. Hot paths should prefer
 // ForEachNeighbor / RandomNeighborStep, which do not allocate.
 func (g *Graph) Neighbors(u NodeID) []NodeID {
-	s, ok := g.index[u]
+	s, ok := g.lookup(u)
 	if !ok {
 		return nil
 	}
 	r := g.recs[s]
-	return append([]NodeID(nil), g.poolV[r.off:r.off+r.n]...)
+	out := make([]NodeID, r.n)
+	for i := int32(0); i < r.n; i++ {
+		out[i] = g.pool[r.off+i].v
+	}
+	return out
 }
 
 // WeightedNeighbors returns the distinct neighbors of u in ascending order
@@ -778,15 +952,16 @@ func (g *Graph) Neighbors(u NodeID) []NodeID {
 // use RandomNeighborStep, which makes the same choice without building
 // these slices.
 func (g *Graph) WeightedNeighbors(u NodeID) (nbrs []NodeID, mult []int) {
-	s, ok := g.index[u]
+	s, ok := g.lookup(u)
 	if !ok {
 		return nil, nil
 	}
 	r := g.recs[s]
-	nbrs = append([]NodeID(nil), g.poolV[r.off:r.off+r.n]...)
+	nbrs = make([]NodeID, r.n)
 	mult = make([]int, r.n)
 	for i := int32(0); i < r.n; i++ {
-		mult[i] = int(g.poolM[r.off+i])
+		nbrs[i] = g.pool[r.off+i].v
+		mult[i] = int(g.pool[r.off+i].m)
 	}
 	return nbrs, mult
 }
@@ -812,10 +987,10 @@ func (g *Graph) Edges() []Edge {
 	for _, u := range g.Nodes() {
 		r := g.recs[g.index[u]]
 		for i := r.off; i < r.off+r.n; i++ {
-			if g.poolV[i] < u {
+			if g.pool[i].v < u {
 				continue
 			}
-			out = append(out, Edge{U: u, V: g.poolV[i], Mult: int(g.poolM[i])})
+			out = append(out, Edge{U: u, V: g.pool[i].v, Mult: int(g.pool[i].m)})
 		}
 	}
 	return out
@@ -857,7 +1032,7 @@ func (g *Graph) BFSDistances(src NodeID) map[NodeID]int {
 			du := dist[u]
 			r := g.recs[g.index[u]]
 			for i := r.off; i < r.off+r.n; i++ {
-				v := g.poolV[i]
+				v := g.pool[i].v
 				if _, seen := dist[v]; !seen {
 					dist[v] = du + 1
 					next = append(next, v)
@@ -885,7 +1060,7 @@ func (g *Graph) ShortestPath(src, dst NodeID) []NodeID {
 		for _, u := range frontier {
 			r := g.recs[g.index[u]]
 			for i := r.off; i < r.off+r.n; i++ {
-				v := g.poolV[i]
+				v := g.pool[i].v
 				if _, seen := parent[v]; seen {
 					continue
 				}
@@ -1014,8 +1189,8 @@ func (g *Graph) ToCSR() *CSR {
 	for i, u := range ids {
 		r := g.recs[g.index[u]]
 		for j := r.off; j < r.off+r.n; j++ {
-			c.Adj = append(c.Adj, int32(idx[g.poolV[j]]))
-			m := float64(g.poolM[j])
+			c.Adj = append(c.Adj, int32(idx[g.pool[j].v]))
+			m := float64(g.pool[j].m)
 			c.Wt = append(c.Wt, m)
 			c.Deg[i] += m
 		}
@@ -1039,8 +1214,8 @@ type ArenaStats struct {
 func (g *Graph) Stats() ArenaStats {
 	st := ArenaStats{
 		Nodes:     len(g.index),
-		PoolLen:   len(g.poolV),
-		PoolCap:   cap(g.poolV),
+		PoolLen:   len(g.pool),
+		PoolCap:   cap(g.pool),
 		FreeCells: g.freeCells,
 	}
 	for _, s := range g.index {
@@ -1069,7 +1244,7 @@ func (g *Graph) Validate() error {
 		deg, dist := int32(0), int32(0)
 		var prev NodeID
 		for i := int32(0); i < r.n; i++ {
-			v, m := g.poolV[r.off+i], g.poolM[r.off+i]
+			v, m := g.pool[r.off+i].v, g.pool[r.off+i].m
 			if i > 0 && v <= prev {
 				return fmt.Errorf("graph: node %d run not strictly sorted at %d", u, v)
 			}
@@ -1079,7 +1254,7 @@ func (g *Graph) Validate() error {
 			}
 			deg += m
 			if v == u {
-				if vs := g.poolS[r.off+i]; vs != s {
+				if vs := g.pool[r.off+i].s; vs != s {
 					return fmt.Errorf("graph: self-loop slot cell of %d holds %d, want %d", u, vs, s)
 				}
 				total += 2 * int(m) // count loops once overall
@@ -1090,14 +1265,14 @@ func (g *Graph) Validate() error {
 			if !ok {
 				return fmt.Errorf("graph: dangling neighbor %d of %d", v, u)
 			}
-			if vs := g.poolS[r.off+i]; vs != sv {
+			if vs := g.pool[r.off+i].s; vs != sv {
 				return fmt.Errorf("graph: slot cell for neighbor %d of %d holds %d, want %d", v, u, vs, sv)
 			}
 			pos, ok := g.findNbr(sv, u)
 			if !ok {
 				return fmt.Errorf("graph: asymmetric edge {%d,%d}: no back entry", u, v)
 			}
-			if back := g.poolM[g.recs[sv].off+pos]; back != m {
+			if back := g.pool[g.recs[sv].off+pos].m; back != m {
 				return fmt.Errorf("graph: asymmetric multiplicity {%d,%d}: %d vs %d", u, v, m, back)
 			}
 			total += int(m)
@@ -1108,14 +1283,40 @@ func (g *Graph) Validate() error {
 		if dist != r.dist {
 			return fmt.Errorf("graph: node %d cached distinct degree %d, actual %d", u, r.dist, dist)
 		}
+		// Fence coherence, cell by cell: every live fence entry must mirror
+		// its run cell, or findNbr's segment narrowing would skip past (or
+		// stall before) the neighbor and desynchronize the two half-edges.
+		for k := 0; k < numFences; k++ {
+			i := int32((k + 1) * fenceStride)
+			if i >= r.n {
+				break
+			}
+			if r.fence[k] != fenceKeyFor(g.pool[r.off+i].v) {
+				return fmt.Errorf("graph: node %d fence[%d] = %d, run cell %d holds %d",
+					u, k, r.fence[k], i, g.pool[r.off+i].v)
+			}
+		}
 	}
 	if total != 2*g.edges {
 		return fmt.Errorf("graph: edge count mismatch: handshake sum %d, 2*edges %d", total, 2*g.edges)
 	}
+	// Dense fast-path coherence: every in-range cell must agree with the
+	// authoritative map in both directions, or lookup would resolve an id
+	// to a stale slot (and mutate someone else's run) or report a live
+	// node absent.
+	for i, s := range g.dense {
+		live, ok := g.index[NodeID(i)]
+		if ok && s != live {
+			return fmt.Errorf("graph: dense[%d] = %d, index says %d", i, s, live)
+		}
+		if !ok && s != -1 {
+			return fmt.Errorf("graph: dense[%d] = %d for absent id", i, s)
+		}
+	}
 	// Arena disjointness: live runs and free-list runs must not overlap —
 	// an aliased run would let one node's insert silently rewrite another
 	// node's adjacency.
-	owner := make([]int32, len(g.poolV))
+	owner := make([]int32, len(g.pool))
 	for i := range owner {
 		owner[i] = -1
 	}

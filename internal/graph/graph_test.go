@@ -467,8 +467,8 @@ func TestRunRecycling(t *testing.T) {
 	}
 	// 16 nodes of distinct degree 15 need runs of capacity 16: even with
 	// growth waste the pool should stay a small constant multiple.
-	if len(g.poolV) > 16*64 {
-		t.Fatalf("pool grew to %d entries: runs are not recycled", len(g.poolV))
+	if len(g.pool) > 16*64 {
+		t.Fatalf("pool grew to %d entries: runs are not recycled", len(g.pool))
 	}
 }
 
@@ -510,6 +510,42 @@ func TestFindNbrEveryPosition(t *testing.T) {
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("deg %d: %v", deg, err)
+		}
+	}
+}
+
+// TestFindNbrSaturatedFence drives runs whose keys straddle the int32
+// fence domain: fence cells saturate to sentinels and findNbr must fall
+// back to ordering on the run itself. Same every-position probing as
+// TestFindNbrEveryPosition, at ids around ±2^31 and ±2^62.
+func TestFindNbrSaturatedFence(t *testing.T) {
+	bases := []NodeID{-1 << 62, -1 << 31, 1<<31 - 40, 1 << 62}
+	for _, base := range bases {
+		for _, deg := range []int{17, 40, 100} {
+			g := New()
+			for i := 1; i <= deg; i++ {
+				g.AddEdge(0, base+NodeID(2*i))
+			}
+			for i := 1; i <= deg; i++ {
+				if !g.HasEdge(0, base+NodeID(2*i)) {
+					t.Fatalf("base %d deg %d: neighbor %d reported absent", base, deg, 2*i)
+				}
+				if g.HasEdge(0, base+NodeID(2*i+1)) {
+					t.Fatalf("base %d deg %d: phantom neighbor %d", base, deg, 2*i+1)
+				}
+				g.AddEdge(0, base+NodeID(2*i))
+				if got := g.Multiplicity(0, base+NodeID(2*i)); got != 2 {
+					t.Fatalf("base %d deg %d: multiplicity of %d after re-add = %d", base, deg, 2*i, got)
+				}
+			}
+			for i := deg; i >= 1; i-- { // shrink back through the threshold
+				if got := g.RemoveEdgeMult(0, base+NodeID(2*i), 2); got != 2 {
+					t.Fatalf("base %d deg %d: removed %d of neighbor %d", base, deg, got, 2*i)
+				}
+				if err := g.Validate(); err != nil {
+					t.Fatalf("base %d deg %d after removing %d: %v", base, deg, 2*i, err)
+				}
+			}
 		}
 	}
 }
